@@ -1,0 +1,45 @@
+//! Criterion benches for the analytic models behind Tables V, VI and
+//! VII — these run in microseconds and regenerate the table values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cmpsim_power::{leakage_per_tile, overhead_percent, EnergyModel};
+use cmpsim_protocols::ProtocolKind;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table5_overhead_all_protocols", |b| {
+        b.iter(|| {
+            for kind in ProtocolKind::all() {
+                black_box(overhead_percent(kind, 64, 4));
+            }
+        })
+    });
+    c.bench_function("table6_leakage_all_protocols", |b| {
+        b.iter(|| {
+            for kind in ProtocolKind::all() {
+                black_box(leakage_per_tile(kind, 64, 4));
+            }
+        })
+    });
+    c.bench_function("table7_full_sweep", |b| {
+        b.iter(|| {
+            for cores in [64u64, 128, 256, 512, 1024] {
+                for shift in 1..=10 {
+                    let areas = 1u64 << shift;
+                    if areas > cores {
+                        break;
+                    }
+                    for kind in ProtocolKind::all() {
+                        black_box(overhead_percent(kind, cores, areas));
+                    }
+                }
+            }
+        })
+    });
+    c.bench_function("energy_model_build", |b| {
+        b.iter(|| black_box(EnergyModel::new(ProtocolKind::DiCoProviders, 64, 4)))
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

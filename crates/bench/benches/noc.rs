@@ -1,0 +1,32 @@
+//! Criterion benches for the mesh NoC model (unicast routing with
+//! contention, broadcast trees).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cmpsim_noc::{Mesh, NocConfig};
+use std::hint::black_box;
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("mesh_unicast_1k_messages", |b| {
+        b.iter(|| {
+            let mut m = Mesh::new(NocConfig::default());
+            let mut t = 0;
+            for i in 0..1000u64 {
+                let src = (i * 7 % 64) as usize;
+                let dst = (i * 13 % 64) as usize;
+                t = m.send(t, src, dst, 5).arrival;
+            }
+            black_box(m.stats().flit_link_traversals.get())
+        })
+    });
+    c.bench_function("mesh_broadcast", |b| {
+        b.iter(|| {
+            let mut m = Mesh::new(NocConfig::default());
+            for i in 0..50u64 {
+                black_box(m.broadcast(i * 100, (i % 64) as usize, 1));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the protocol state machines, driven through the
+//! fixed-latency test harness (no NoC): measures raw transaction
+//! processing cost per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmpsim_protocols::arin::Arin;
+use cmpsim_protocols::common::{ChipSpec, CoherenceProtocol};
+use cmpsim_protocols::dico::DiCo;
+use cmpsim_protocols::directory::Directory;
+use cmpsim_protocols::harness::{random_stress, Harness};
+use cmpsim_protocols::providers::Providers;
+use cmpsim_protocols::ProtocolKind;
+use std::hint::black_box;
+
+fn stress<P: CoherenceProtocol>(proto: P) -> u64 {
+    let mut h = Harness::new(proto);
+    random_stress(&mut h, 0xbe7c4, 40, 24, 0.3);
+    h.total_completed()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_stress_16tiles");
+    for kind in ProtocolKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let n = match kind {
+                    ProtocolKind::Directory => stress(Directory::new(ChipSpec::small())),
+                    ProtocolKind::DiCo => stress(DiCo::new(ChipSpec::small())),
+                    ProtocolKind::DiCoProviders => stress(Providers::new(ChipSpec::small())),
+                    ProtocolKind::DiCoArin => stress(Arin::new(ChipSpec::small())),
+                };
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

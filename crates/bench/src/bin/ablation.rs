@@ -1,0 +1,45 @@
+//! Ablation study for the two prediction mechanisms DESIGN.md calls
+//! out: the L1C$ supplier prediction (paper §IV-A2) and the Figure-5
+//! hint messages sent when ownership/providership moves. Runs
+//! DiCo-Providers on apache with each mechanism toggled.
+
+use cmpsim::report::table;
+use cmpsim::{run_benchmark, Benchmark, MissClass, ProtocolKind, SystemConfig};
+
+fn main() {
+    let refs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    println!("== Prediction/hint ablation (DiCo-Providers, apache, {refs} refs/core) ==\n");
+    let mut rows = Vec::new();
+    for (pred, hints, label) in [
+        (true, true, "prediction + hints (paper)"),
+        (true, false, "prediction, no hints"),
+        (false, false, "no prediction (always via home)"),
+    ] {
+        let mut cfg = SystemConfig::paper().with_refs(refs);
+        cfg.chip.enable_prediction = pred;
+        cfg.chip.enable_hints = hints;
+        let r = run_benchmark(ProtocolKind::DiCoProviders, Benchmark::Apache, &cfg);
+        let predicted = r.miss_class_frac(MissClass::PredictedOwnerHit)
+            + r.miss_class_frac(MissClass::PredictedProviderHit);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", r.throughput()),
+            format!("{:.1} uJ", r.total_dynamic_uj()),
+            format!("{:.2}", r.avg_links_per_message()),
+            format!("{:.1}%", 100.0 * predicted),
+            format!("{:.1}%", 100.0 * r.miss_class_frac(MissClass::PredictionFailed)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["configuration", "throughput", "dyn energy", "links/msg", "pred hits", "mispredicts"],
+            &rows
+        )
+    );
+    println!(
+        "The L1C$ prediction is what buys the 2-hop misses (paper §II-B);\n\
+         hints keep predictions fresh across ownership movement (Figure 5).\n\
+         Disabling prediction reverts every miss to home indirection."
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figures 7, 8a, 8b, 9a and 9b (plus the §V-D hop summary)
+//! from a single simulation sweep — the cheapest way to refresh
+//! EXPERIMENTS.md.
+
+use cmpsim_bench::figures::Sweep;
+use cmpsim_bench::report_config;
+
+fn main() {
+    let cfg = report_config();
+    eprintln!(
+        "running {} benchmarks x 4 protocols at {} refs/core ...",
+        cmpsim::Benchmark::all().len(),
+        cfg.refs_per_core
+    );
+    let sweep = Sweep::run(&cfg);
+    println!("{}", sweep.figure7());
+    println!("{}", sweep.figure8a());
+    println!("{}", sweep.figure8b());
+    println!("{}", sweep.figure9a());
+    println!("{}", sweep.figure9b());
+    println!("{}", sweep.hop_summary());
+    println!("{}", sweep.latency_summary());
+}

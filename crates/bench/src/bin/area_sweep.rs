@@ -1,0 +1,47 @@
+//! Ablation: the area-count trade-off the paper calls out in §V-B —
+//! "using smaller areas implies that providers will be closer to the
+//! requestors but also that finding a provider in the area is less
+//! likely" — plus the storage overhead per choice. Runs DiCo-Providers
+//! and DiCo-Arin on apache with 2, 4, 8 and 16 areas (one VM per area).
+
+use cmpsim::report::table;
+use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
+use cmpsim_power::overhead_percent;
+use cmpsim_protocols::common::ChipSpec;
+
+fn main() {
+    let refs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    println!("== Area-count ablation (apache, {refs} refs/core, 1 VM per area) ==\n");
+    let mut rows = Vec::new();
+    for kind in [ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin] {
+        for areas in [2usize, 4, 8, 16] {
+            let cfg = SystemConfig {
+                chip: ChipSpec::paper_with_areas(areas),
+                num_vms: areas,
+                ..SystemConfig::paper()
+            }
+            .with_refs(refs);
+            let r = run_benchmark(kind, Benchmark::Apache, &cfg);
+            rows.push(vec![
+                kind.name().to_string(),
+                areas.to_string(),
+                format!("{:.4}", r.throughput()),
+                format!("{:.1} uJ", r.total_dynamic_uj()),
+                format!("{:.2}", r.avg_links_per_message()),
+                format!("{:.1}%", overhead_percent(kind, 64, areas as u64)),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["protocol", "areas", "throughput", "dyn energy", "links/msg", "storage ovh"],
+            &rows
+        )
+    );
+    println!(
+        "Expected trade-off: smaller areas shorten in-area trips (links/msg)\n\
+         but shrink each area's chance of holding a provider; DiCo-Providers'\n\
+         storage grows with the area count while DiCo-Arin's dips at 4 areas."
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure9b from a full (benchmark x protocol)
+//! simulation sweep. Pass the per-core reference budget as the first
+//! argument (default 60000).
+
+use cmpsim_bench::figures::Sweep;
+use cmpsim_bench::report_config;
+
+fn main() {
+    let sweep = Sweep::run(&report_config());
+    print!("{}", sweep.figure9b());
+}

@@ -1,0 +1,64 @@
+//! §V-D link-count analysis: the paper's analytic hop counts for 2-hop
+//! misses — 10.6 links chip-wide vs 5.4 links inside a 16-tile area on
+//! the 8x8 mesh, and the 256-tile / 4-tile-area projection — verified
+//! against the mesh model.
+
+use cmpsim::report::table;
+use cmpsim_noc::{Mesh, NocConfig};
+
+fn avg_round_trip(cfg: NocConfig, within_area: Option<usize>) -> f64 {
+    let mesh = Mesh::new(cfg);
+    let tiles = cfg.tiles();
+    let area_cols = (within_area.unwrap_or(tiles) as f64).sqrt() as usize;
+    let in_area = |t: usize| {
+        within_area
+            .map(|_| (t % cfg.cols) < area_cols && (t / cfg.cols) < area_cols)
+            .unwrap_or(true)
+    };
+    let mut sum = 0u64;
+    let mut n = 0u64;
+    for a in 0..tiles {
+        for b in 0..tiles {
+            if a != b && in_area(a) && in_area(b) {
+                sum += 2 * mesh.distance(a, b);
+                n += 1;
+            }
+        }
+    }
+    sum as f64 / n as f64
+}
+
+fn main() {
+    println!("== Paper §V-D: links traversed by a two-hop miss ==\n");
+    let m8 = NocConfig { cols: 8, rows: 8, ..NocConfig::default() };
+    let m16 = NocConfig { cols: 16, rows: 16, ..NocConfig::default() };
+    let rows = vec![
+        vec![
+            "8x8 chip-wide (paper: 10.6)".to_string(),
+            format!("{:.1}", avg_round_trip(m8, None)),
+        ],
+        vec![
+            "8x8 within a 16-tile area (paper: 5.4)".to_string(),
+            format!("{:.1}", avg_round_trip(m8, Some(16))),
+        ],
+        vec![
+            "16x16 chip-wide (paper: 21.3)".to_string(),
+            format!("{:.1}", avg_round_trip(m16, None)),
+        ],
+        vec![
+            "16x16 within a 4-tile area (paper: 2.6)".to_string(),
+            format!("{:.1}", avg_round_trip(m16, Some(4))),
+        ],
+        vec![
+            "16x16 3-hop indirection (paper: 32)".to_string(),
+            format!("{:.1}", 1.5 * avg_round_trip(m16, None)),
+        ],
+    ];
+    println!("{}", table(&["path", "avg links"], &rows));
+    println!(
+        "Shortened (in-area) misses traverse ~{}% fewer links than chip-wide\n\
+         two-hop misses on the 8x8 mesh — the paper reports 38-40% fewer\n\
+         links than DiCo for provider-resolved misses.",
+        (100.0 * (1.0 - avg_round_trip(m8, Some(16)) / avg_round_trip(m8, None))) as i64
+    );
+}

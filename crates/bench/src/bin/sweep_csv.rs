@@ -1,0 +1,10 @@
+//! Full (benchmark x protocol) sweep exported as CSV on stdout — the
+//! raw data behind Figures 7/8/9 for external plotting.
+
+use cmpsim_bench::figures::Sweep;
+use cmpsim_bench::report_config;
+
+fn main() {
+    let sweep = Sweep::run(&report_config());
+    print!("{}", sweep.to_csv());
+}

@@ -1,0 +1,33 @@
+//! Table V — memory overhead introduced by coherence information (per
+//! tile) in the 8x8 tiled CMP with 4 areas.
+
+use cmpsim::report::table;
+use cmpsim_power::{overhead_percent, table_v_rows};
+use cmpsim_protocols::ProtocolKind;
+
+fn main() {
+    println!("== Table V: per-tile coherence storage (64 cores, 4 areas) ==\n");
+    let paper = [
+        (ProtocolKind::Directory, 12.56),
+        (ProtocolKind::DiCo, 13.21),
+        (ProtocolKind::DiCoProviders, 5.14),
+        (ProtocolKind::DiCoArin, 4.49),
+    ];
+    for (kind, paper_pct) in paper {
+        let rows: Vec<Vec<String>> = table_v_rows(kind, 64, 4)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.structure.to_string(),
+                    format!("{} bits", r.entry_bits),
+                    r.entries.to_string(),
+                    format!("{:.2} KB", r.kib),
+                ]
+            })
+            .collect();
+        println!("{}", kind.name());
+        println!("{}", table(&["structure", "entry", "entries", "size"], &rows));
+        let got = overhead_percent(kind, 64, 4);
+        println!("overhead: {got:.2}%   (paper: {paper_pct}%)\n");
+    }
+}

@@ -1,0 +1,38 @@
+//! Table VI — leakage power of the caches per tile.
+
+use cmpsim::report::table;
+use cmpsim_power::leakage_per_tile;
+use cmpsim_protocols::ProtocolKind;
+
+fn main() {
+    println!("== Table VI: leakage power per tile (64 cores, 4 areas, 32 nm-calibrated) ==\n");
+    let paper = [
+        (ProtocolKind::Directory, 239.0, 37.0),
+        (ProtocolKind::DiCo, 241.0, 39.0),
+        (ProtocolKind::DiCoProviders, 222.0, 20.0),
+        (ProtocolKind::DiCoArin, 219.0, 17.0),
+    ];
+    let dir = leakage_per_tile(ProtocolKind::Directory, 64, 4);
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|&(kind, p_total, p_tag)| {
+            let l = leakage_per_tile(kind, 64, 4);
+            vec![
+                kind.name().to_string(),
+                format!("{:.0} mW", l.total_mw),
+                format!("{p_total:.0} mW"),
+                format!("{:+.0}%", l.total_diff_percent(&dir)),
+                format!("{:.0} mW", l.tag_mw),
+                format!("{p_tag:.0} mW"),
+                format!("{:+.0}%", l.tag_diff_percent(&dir)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["protocol", "total", "paper", "vs dir", "tags", "paper", "vs dir"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the report binaries: each `src/bin/*.rs` target
+//! regenerates one table or figure of the paper (see DESIGN.md's
+//! experiment index). The binaries print plain-text tables comparing the
+//! paper's numbers with the measured ones; EXPERIMENTS.md records a
+//! captured run.
+
+use cmpsim::{RunResult, SystemConfig};
+
+/// Reference budget for report runs; override with the first CLI
+/// argument or the `CMPSIM_REFS` environment variable.
+pub fn refs_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("CMPSIM_REFS").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000)
+}
+
+/// The standard report configuration (paper chip + CLI reference budget).
+pub fn report_config() -> SystemConfig {
+    SystemConfig::paper().with_refs(refs_from_args())
+}
+
+/// Formats a normalized series as percentages of the first element.
+pub fn vs_base(results: &[&RunResult], f: impl Fn(&RunResult) -> f64) -> Vec<f64> {
+    let base = f(results[0]);
+    results.iter().map(|r| f(r) / base).collect()
+}
+
+pub mod figures;

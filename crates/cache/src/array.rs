@@ -1,0 +1,411 @@
+//! Generic set-associative array with true-LRU replacement.
+
+use crate::geometry::Geometry;
+
+/// One resident line: the full block address plus a protocol-defined
+/// payload.
+#[derive(Debug, Clone)]
+pub struct Line<T> {
+    /// Block address (uniquely identifies the line; tag+index recoverable).
+    pub block: u64,
+    /// Protocol payload (state, sharing code, pointers, ...).
+    pub data: T,
+    lru: u64,
+}
+
+/// A set-associative array. All structures of a tile (L1, L2 bank,
+/// directory cache, L1C$, L2C$) are instances of this with different
+/// payloads and geometries.
+#[derive(Debug, Clone)]
+pub struct SetAssoc<T> {
+    geom: Geometry,
+    sets: Vec<Vec<Line<T>>>,
+    clock: u64,
+}
+
+impl<T> SetAssoc<T> {
+    /// Creates an empty array.
+    pub fn new(geom: Geometry) -> Self {
+        let sets = (0..geom.sets).map(|_| Vec::with_capacity(geom.ways)).collect();
+        Self { geom, sets, clock: 0 }
+    }
+
+    /// Geometry in effect.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Immutable lookup without touching LRU state (probe).
+    pub fn peek(&self, block: u64) -> Option<&T> {
+        let set = &self.sets[self.geom.index(block)];
+        set.iter().find(|l| l.block == block).map(|l| &l.data)
+    }
+
+    /// Mutable lookup without touching LRU state.
+    pub fn peek_mut(&mut self, block: u64) -> Option<&mut T> {
+        let idx = self.geom.index(block);
+        self.sets[idx].iter_mut().find(|l| l.block == block).map(|l| &mut l.data)
+    }
+
+    /// Lookup that refreshes the line's LRU position (a real access).
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut T> {
+        let stamp = self.bump();
+        let idx = self.geom.index(block);
+        let line = self.sets[idx].iter_mut().find(|l| l.block == block)?;
+        line.lru = stamp;
+        Some(&mut line.data)
+    }
+
+    /// Refreshes LRU position if present; returns whether it was.
+    pub fn touch(&mut self, block: u64) -> bool {
+        self.get_mut(block).is_some()
+    }
+
+    /// True if `block` is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.peek(block).is_some()
+    }
+
+    /// Inserts `block`. If the set is full, the LRU line is evicted and
+    /// returned as `(victim_block, victim_payload)`.
+    ///
+    /// # Panics
+    /// Panics if `block` is already resident (protocols must update in
+    /// place instead of re-inserting).
+    pub fn insert(&mut self, block: u64, data: T) -> Option<(u64, T)> {
+        let stamp = self.bump();
+        let idx = self.geom.index(block);
+        let set = &mut self.sets[idx];
+        assert!(
+            !set.iter().any(|l| l.block == block),
+            "insert of already-resident block {block:#x}"
+        );
+        let victim = if set.len() >= self.geom.ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("full set is non-empty");
+            let v = set.swap_remove(vi);
+            Some((v.block, v.data))
+        } else {
+            None
+        };
+        set.push(Line { block, data, lru: stamp });
+        victim
+    }
+
+    /// Inserts `block`, choosing the LRU victim among lines for which
+    /// `can_evict` returns true. When the set is full and *no* line is
+    /// evictable (all are mid-transaction), the set temporarily exceeds
+    /// its associativity — the overflow is repaid by later insertions,
+    /// which keep evicting while `set_len > ways`. Returns all victims
+    /// evicted (usually zero or one; more when repaying an overshoot)
+    /// and whether an overflow occurred.
+    ///
+    /// This mirrors what real controllers achieve by stalling a fill
+    /// until a victim's transaction drains; modelling it as a bounded
+    /// overshoot keeps the simulator deadlock-free without a global
+    /// stall network.
+    pub fn insert_filtered(
+        &mut self,
+        block: u64,
+        data: T,
+        mut can_evict: impl FnMut(u64) -> bool,
+    ) -> (Vec<(u64, T)>, bool) {
+        let stamp = self.bump();
+        let idx = self.geom.index(block);
+        let set = &mut self.sets[idx];
+        assert!(
+            !set.iter().any(|l| l.block == block),
+            "insert of already-resident block {block:#x}"
+        );
+        let mut victims = Vec::new();
+        let mut overflowed = false;
+        // Evict until below associativity (repaying any earlier
+        // overshoot).
+        while set.len() >= self.geom.ways {
+            let candidate = set
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| can_evict(l.block))
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i);
+            match candidate {
+                Some(vi) => {
+                    let v = set.swap_remove(vi);
+                    victims.push((v.block, v.data));
+                }
+                None => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        set.push(Line { block, data, lru: stamp });
+        (victims, overflowed)
+    }
+
+    /// The line that `insert(block, ..)` would evict, if the set is full.
+    /// Protocols use this to launch replacement transactions *before*
+    /// the fill arrives.
+    pub fn victim_if_full(&self, block: u64) -> Option<(&u64, &T)> {
+        let set = &self.sets[self.geom.index(block)];
+        if set.len() < self.geom.ways {
+            return None;
+        }
+        set.iter().min_by_key(|l| l.lru).map(|l| (&l.block, &l.data))
+    }
+
+    /// Removes `block`, returning its payload.
+    pub fn remove(&mut self, block: u64) -> Option<T> {
+        let idx = self.geom.index(block);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.block == block)?;
+        Some(set.swap_remove(pos).data)
+    }
+
+    /// Iterates over all resident lines in deterministic (set, then
+    /// insertion) order. Used by invariant checkers and tests only.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.sets.iter().flat_map(|s| s.iter().map(|l| (l.block, &l.data)))
+    }
+
+    /// Mutable iteration, deterministic order. Test/checker use only.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.sets.iter_mut().flat_map(|s| s.iter_mut().map(|l| (l.block, &mut l.data)))
+    }
+
+    /// Occupancy of the set that `block` maps to.
+    pub fn set_len(&self, block: u64) -> usize {
+        self.sets[self.geom.index(block)].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssoc<u32> {
+        SetAssoc::new(Geometry::new(2, 2))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = tiny();
+        assert!(c.insert(0, 10).is_none());
+        assert_eq!(c.peek(0), Some(&10));
+        assert!(c.peek(2).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (even blocks).
+        c.insert(0, 1);
+        c.insert(2, 2);
+        c.touch(0); // 2 is now LRU
+        let victim = c.insert(4, 3);
+        assert_eq!(victim, Some((2, 2)));
+        assert!(c.contains(0));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(2, 2);
+        c.peek(0); // must NOT protect block 0
+        let victim = c.insert(4, 3);
+        assert_eq!(victim, Some((0, 1)));
+    }
+
+    #[test]
+    fn get_mut_refreshes_lru() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(2, 2);
+        *c.get_mut(0).unwrap() += 100;
+        let victim = c.insert(4, 3);
+        assert_eq!(victim, Some((2, 2)));
+        assert_eq!(c.peek(0), Some(&101));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(1, 2); // odd -> set 1
+        c.insert(2, 3);
+        c.insert(3, 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.victim_if_full(5).is_some());
+    }
+
+    #[test]
+    fn victim_if_full_matches_insert() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(2, 2);
+        let predicted = *c.victim_if_full(4).unwrap().0;
+        let actual = c.insert(4, 9).unwrap().0;
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn victim_if_full_none_when_space() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        assert!(c.victim_if_full(2).is_none());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut c = tiny();
+        c.insert(0, 7);
+        assert_eq!(c.remove(0), Some(7));
+        assert_eq!(c.remove(0), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(0, 2);
+    }
+
+    #[test]
+    fn insert_filtered_skips_protected_victims() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(2, 2);
+        // Block 0 is the LRU, but it is protected.
+        let (victims, overflowed) = c.insert_filtered(4, 3, |b| b != 0);
+        assert_eq!(victims, vec![(2, 2)]);
+        assert!(!overflowed);
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn insert_filtered_overflows_when_all_protected() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(2, 2);
+        let (victims, overflowed) = c.insert_filtered(4, 3, |_| false);
+        assert!(victims.is_empty());
+        assert!(overflowed);
+        assert_eq!(c.set_len(0), 3); // temporarily above 2 ways
+        // The next insertion repays the debt (evicts down to 1, pushes 1).
+        let (victims, overflowed) = c.insert_filtered(6, 4, |_| true);
+        assert_eq!(victims.len(), 2);
+        assert!(!overflowed);
+        assert_eq!(c.set_len(0), 2);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut c = SetAssoc::new(Geometry::new(4, 2));
+        for b in 0..8u64 {
+            c.insert(b, b as u32);
+        }
+        let mut blocks: Vec<u64> = c.iter().map(|(b, _)| b).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, (0..8).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// The array never holds two lines with the same block, never
+        /// exceeds its capacity per set, and lookups agree with a model
+        /// map restricted to resident blocks.
+        #[test]
+        fn behaves_like_bounded_map(ops in prop::collection::vec((0u64..32, 0u32..1000), 1..200)) {
+            let mut c: SetAssoc<u32> = SetAssoc::new(Geometry::new(4, 2));
+            let mut model: HashMap<u64, u32> = HashMap::new();
+            for (block, val) in ops {
+                if c.contains(block) {
+                    *c.get_mut(block).unwrap() = val;
+                    model.insert(block, val);
+                } else {
+                    if let Some((vb, _)) = c.insert(block, val) {
+                        model.remove(&vb);
+                    }
+                    model.insert(block, val);
+                }
+                // Invariants.
+                let mut seen = std::collections::HashSet::new();
+                for (b, _) in c.iter() {
+                    prop_assert!(seen.insert(b), "duplicate block {}", b);
+                }
+                for b in 0u64..32 {
+                    prop_assert!(c.set_len(b) <= 2);
+                    if let Some(v) = c.peek(b) {
+                        prop_assert_eq!(model.get(&b), Some(v));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod filtered_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// With a shrinking-but-reappearing protected set, the array
+        /// never loses protected lines, and overshoot is bounded by the
+        /// number of protected lines in the set.
+        #[test]
+        fn protected_lines_survive(ops in prop::collection::vec(
+            (0u64..32, prop::bool::ANY), 1..120,
+        )) {
+            let mut c: SetAssoc<u32> = SetAssoc::new(Geometry::new(4, 2));
+            let mut protected: BTreeSet<u64> = BTreeSet::new();
+            for (block, protect) in ops {
+                if protect && c.contains(block) {
+                    protected.insert(block);
+                }
+                if !c.contains(block) {
+                    let guard = protected.clone();
+                    let (victims, _overflow) =
+                        c.insert_filtered(block, block as u32, |b| !guard.contains(&b));
+                    for (vb, _) in victims {
+                        prop_assert!(!protected.contains(&vb), "evicted protected {vb}");
+                    }
+                }
+                // Protected lines are all still resident.
+                for &b in &protected {
+                    prop_assert!(c.contains(b));
+                }
+            }
+        }
+    }
+}

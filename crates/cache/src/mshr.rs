@@ -1,0 +1,128 @@
+//! Miss Status Holding Registers.
+//!
+//! One MSHR tracks one outstanding transaction for one block. The entry
+//! payload is protocol-defined (pending ack counters, requested access
+//! type, queued requests, ...). Iteration is address-ordered so whole-chip
+//! invariant checks are deterministic.
+
+use std::collections::BTreeMap;
+
+/// MSHR file with a capacity limit.
+#[derive(Debug, Clone)]
+pub struct Mshr<E> {
+    entries: BTreeMap<u64, E>,
+    capacity: usize,
+}
+
+impl<E> Mshr<E> {
+    /// Creates an MSHR file with room for `capacity` in-flight blocks.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { entries: BTreeMap::new(), capacity }
+    }
+
+    /// Number of in-flight transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no transaction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a new transaction can be allocated.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry for `block`.
+    ///
+    /// # Panics
+    /// Panics if the block already has an entry (callers must merge into
+    /// the existing transaction) or if the file is full (callers must
+    /// check [`Mshr::has_room`] and stall the core).
+    pub fn alloc(&mut self, block: u64, entry: E) -> &mut E {
+        assert!(self.has_room(), "MSHR overflow");
+        let prev = self.entries.insert(block, entry);
+        assert!(prev.is_none(), "duplicate MSHR for block {block:#x}");
+        self.entries.get_mut(&block).expect("just inserted")
+    }
+
+    /// Entry for `block`, if in flight.
+    pub fn get(&self, block: u64) -> Option<&E> {
+        self.entries.get(&block)
+    }
+
+    /// Mutable entry for `block`, if in flight.
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut E> {
+        self.entries.get_mut(&block)
+    }
+
+    /// True if `block` has an in-flight transaction.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Completes and removes the transaction for `block`.
+    pub fn release(&mut self, block: u64) -> Option<E> {
+        self.entries.remove(&block)
+    }
+
+    /// Address-ordered iteration (checkers/tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &E)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_release() {
+        let mut m: Mshr<u32> = Mshr::new(4);
+        m.alloc(10, 1);
+        assert!(m.contains(10));
+        *m.get_mut(10).unwrap() += 5;
+        assert_eq!(m.release(10), Some(6));
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn room_accounting() {
+        let mut m: Mshr<()> = Mshr::new(2);
+        assert!(m.has_room());
+        m.alloc(1, ());
+        m.alloc(2, ());
+        assert!(!m.has_room());
+        m.release(1);
+        assert!(m.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate MSHR")]
+    fn duplicate_alloc_panics() {
+        let mut m: Mshr<()> = Mshr::new(4);
+        m.alloc(1, ());
+        m.alloc(1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR overflow")]
+    fn overflow_panics() {
+        let mut m: Mshr<()> = Mshr::new(1);
+        m.alloc(1, ());
+        m.alloc(2, ());
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        let mut m: Mshr<u8> = Mshr::new(8);
+        for b in [5u64, 1, 9, 3] {
+            m.alloc(b, b as u8);
+        }
+        let order: Vec<u64> = m.iter().map(|(b, _)| *b).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+}

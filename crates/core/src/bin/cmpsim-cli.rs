@@ -1,0 +1,207 @@
+//! Command-line front end for the simulator.
+//!
+//! ```text
+//! cmpsim-cli run  [--protocol P] [--benchmark B] [--refs N] [--alt] [--seed S]
+//! cmpsim-cli matrix [--refs N] [--alt]          # all protocols x one benchmark set
+//! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
+//! cmpsim-cli list                               # protocols & benchmarks
+//! ```
+//!
+//! Protocols: directory | dico | providers | arin.
+//! Benchmarks: apache | jbb | radix | lu | volrend | tomcatv |
+//! mixed-com | mixed-sci.
+
+use cmpsim::report::table;
+use cmpsim::{
+    run_benchmark, run_matrix, Benchmark, MissClass, Placement, ProtocolKind, SystemConfig,
+};
+use cmpsim_power::{leakage_per_tile, overhead_percent};
+
+fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "directory" | "dir" => Some(ProtocolKind::Directory),
+        "dico" => Some(ProtocolKind::DiCo),
+        "providers" | "dico-providers" => Some(ProtocolKind::DiCoProviders),
+        "arin" | "dico-arin" => Some(ProtocolKind::DiCoArin),
+        _ => None,
+    }
+}
+
+fn parse_benchmark(s: &str) -> Option<Benchmark> {
+    match s.to_ascii_lowercase().as_str() {
+        "apache" => Some(Benchmark::Apache),
+        "jbb" => Some(Benchmark::Jbb),
+        "radix" => Some(Benchmark::Radix),
+        "lu" => Some(Benchmark::Lu),
+        "volrend" => Some(Benchmark::Volrend),
+        "tomcatv" => Some(Benchmark::Tomcatv),
+        "mixed-com" => Some(Benchmark::MixedCom),
+        "mixed-sci" => Some(Benchmark::MixedSci),
+        _ => None,
+    }
+}
+
+struct Options {
+    protocol: ProtocolKind,
+    benchmark: Benchmark,
+    refs: u64,
+    seed: u64,
+    alt: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        protocol: ProtocolKind::DiCoArin,
+        benchmark: Benchmark::Apache,
+        refs: 20_000,
+        seed: 0xC0FFEE,
+        alt: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--protocol" | "-p" => {
+                let v = it.next().ok_or("--protocol needs a value")?;
+                o.protocol = parse_protocol(v).ok_or_else(|| format!("unknown protocol {v}"))?;
+            }
+            "--benchmark" | "-b" => {
+                let v = it.next().ok_or("--benchmark needs a value")?;
+                o.benchmark =
+                    parse_benchmark(v).ok_or_else(|| format!("unknown benchmark {v}"))?;
+            }
+            "--refs" | "-n" => {
+                let v = it.next().ok_or("--refs needs a value")?;
+                o.refs = v.parse().map_err(|_| format!("bad refs {v}"))?;
+            }
+            "--seed" | "-s" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                o.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--alt" => o.alt = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn config(o: &Options) -> SystemConfig {
+    let mut cfg = SystemConfig::paper().with_refs(o.refs).with_seed(o.seed);
+    if o.alt {
+        cfg = cfg.with_placement(Placement::Alternative);
+    }
+    cfg
+}
+
+fn cmd_run(o: &Options) {
+    let r = run_benchmark(o.protocol, o.benchmark, &config(o));
+    println!("{} on {}{}", r.protocol.name(), r.benchmark.name(), r.placement.suffix());
+    println!("  cycles            {:>12}", r.cycles);
+    println!("  throughput        {:>12.4} refs/cycle", r.throughput());
+    println!("  L1 miss rate      {:>11.2}%", 100.0 * r.l1_miss_rate());
+    println!("  off-chip rate     {:>11.2}%", 100.0 * r.l2_miss_rate());
+    println!("  dedup savings     {:>11.1}%", 100.0 * r.dedup_savings);
+    println!("  cache energy      {:>12.1} uJ", r.cache_energy.total() / 1000.0);
+    println!("  network energy    {:>12.1} uJ", r.net_energy.total() / 1000.0);
+    println!("  links/message     {:>12.2}", r.avg_links_per_message());
+    println!("  avg miss latency  {:>12.1} cycles", r.avg_miss_latency());
+    println!("  p95 miss latency  {:>12} cycles", r.miss_latency_percentile(95.0));
+    println!("  broadcasts        {:>12}", r.proto_stats.broadcast_invs.get());
+    println!("  VM imbalance      {:>12.3}", r.vm_imbalance());
+    println!("  miss classes:");
+    for class in MissClass::all() {
+        println!("    {:<18} {:>6.1}%", class.label(), 100.0 * r.miss_class_frac(class));
+    }
+}
+
+fn cmd_matrix(o: &Options) {
+    let cfg = config(o);
+    let results = run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg);
+    let base = &results[0];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.protocol.name().to_string(),
+                format!("{:.4}", r.throughput()),
+                format!("{:+.1}%", 100.0 * (r.performance() / base.performance() - 1.0)),
+                format!("{:.1} uJ", r.total_dynamic_uj()),
+                format!("{:+.1}%", 100.0 * (r.total_dynamic_nj() / base.total_dynamic_nj() - 1.0)),
+                format!("{:.2}", r.avg_links_per_message()),
+            ]
+        })
+        .collect();
+    println!("{}{} at {} refs/core:", o.benchmark.name(), cfg.placement.suffix(), cfg.refs_per_core);
+    println!(
+        "{}",
+        table(
+            &["protocol", "throughput", "perf vs dir", "dyn energy", "vs dir", "links/msg"],
+            &rows
+        )
+    );
+}
+
+fn cmd_tables() {
+    println!("== Table V/VII: storage overhead (64 cores) ==\n");
+    let areas = [2u64, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for kind in ProtocolKind::all() {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(areas.iter().map(|&a| format!("{:.1}%", overhead_percent(kind, 64, a))));
+        rows.push(row);
+    }
+    let mut header = vec!["protocol".to_string()];
+    header.extend(areas.iter().map(|a| format!("{a} areas")));
+    let refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("{}", table(&refs, &rows));
+
+    println!("== Table VI: leakage per tile (4 areas) ==\n");
+    let rows: Vec<Vec<String>> = ProtocolKind::all()
+        .iter()
+        .map(|&k| {
+            let l = leakage_per_tile(k, 64, 4);
+            vec![
+                k.name().to_string(),
+                format!("{:.0} mW", l.total_mw),
+                format!("{:.0} mW", l.tag_mw),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["protocol", "total", "tags"], &rows));
+}
+
+fn cmd_list() {
+    println!("protocols:  directory | dico | providers | arin");
+    println!("benchmarks: apache | jbb | radix | lu | volrend | tomcatv | mixed-com | mixed-sci");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: cmpsim-cli <run|matrix|tables|list> [options]");
+            std::process::exit(2);
+        }
+    };
+    match cmd {
+        "tables" => cmd_tables(),
+        "list" => cmd_list(),
+        "run" | "matrix" => match parse_options(rest) {
+            Ok(o) => {
+                if cmd == "run" {
+                    cmd_run(&o)
+                } else {
+                    cmd_matrix(&o)
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+        other => {
+            eprintln!("unknown command {other}; try run, matrix, tables, list");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Whole-system configuration (paper Table III defaults).
+
+use cmpsim_noc::NocConfig;
+use cmpsim_protocols::common::ChipSpec;
+use cmpsim_virt::Placement;
+
+/// Everything a simulation run needs besides the protocol and workload.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Chip description (tiles, areas, cache geometries, latencies).
+    pub chip: ChipSpec,
+    /// Mesh parameters.
+    pub noc: NocConfig,
+    /// Virtual machines (one per area in the paper).
+    pub num_vms: usize,
+    /// VM-to-tile placement.
+    pub placement: Placement,
+    /// Memory controllers along the chip borders.
+    pub mem_controllers: usize,
+    /// DRAM latency in cycles (Table III: 300 + on-chip delay).
+    pub mem_latency: u64,
+    /// Bound of the small random extra DRAM delay.
+    pub mem_jitter: u64,
+    /// Controller service (occupancy) time per request, cycles.
+    pub mem_service: u64,
+    /// References each core executes.
+    pub refs_per_core: u64,
+    /// Fraction of references treated as warm-up (stats reset after).
+    pub warmup_frac: f64,
+    /// RNG seed (workloads + jitter).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 64-tile, 4-VM configuration with a reduced reference
+    /// budget suitable for report generation on a laptop.
+    pub fn paper() -> Self {
+        Self {
+            chip: ChipSpec::paper(),
+            noc: NocConfig::default(),
+            num_vms: 4,
+            placement: Placement::Matched,
+            mem_controllers: 8,
+            mem_latency: 300,
+            mem_jitter: 20,
+            mem_service: 12,
+            refs_per_core: 120_000,
+            warmup_frac: 0.3,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A scaled-down 4x4-tile configuration for integration tests.
+    pub fn small() -> Self {
+        Self {
+            chip: ChipSpec::small(),
+            noc: NocConfig { cols: 4, rows: 4, ..NocConfig::default() },
+            num_vms: 4,
+            placement: Placement::Matched,
+            mem_controllers: 4,
+            mem_latency: 100,
+            mem_jitter: 8,
+            mem_service: 6,
+            refs_per_core: 400,
+            warmup_frac: 0.2,
+            seed: 7,
+        }
+    }
+
+    /// The smallest sensible run (doc tests / smoke tests).
+    pub fn smoke() -> Self {
+        Self { refs_per_core: 120, ..Self::small() }
+    }
+
+    /// Returns a copy with the alternative placement (paper "-alt").
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with a different reference budget.
+    pub fn with_refs(mut self, refs: u64) -> Self {
+        self.refs_per_core = refs;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tiles in the configuration.
+    pub fn tiles(&self) -> usize {
+        self.chip.tiles()
+    }
+
+    /// Mesh tile hosting memory controller `i`: controllers sit along
+    /// the top and bottom borders, evenly spaced (Table III).
+    pub fn mem_ctrl_tile(&self, i: usize) -> usize {
+        let cols = self.noc.cols;
+        let rows = self.noc.rows;
+        let per_row = self.mem_controllers.div_ceil(2);
+        let spread = |j: usize| j * cols / per_row + cols / (2 * per_row).max(1);
+        if i < per_row {
+            spread(i).min(cols - 1)
+        } else {
+            (rows - 1) * cols + spread(i - per_row).min(cols - 1)
+        }
+    }
+
+    /// Controller that owns `block`.
+    pub fn mem_ctrl_of(&self, block: u64) -> usize {
+        (block % self.mem_controllers as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.tiles(), 64);
+        assert_eq!(c.num_vms, 4);
+        assert_eq!(c.mem_controllers, 8);
+        assert_eq!(c.mem_latency, 300);
+    }
+
+    #[test]
+    fn mem_ctrls_on_borders() {
+        let c = SystemConfig::paper();
+        for i in 0..8 {
+            let t = c.mem_ctrl_tile(i);
+            let row = t / 8;
+            assert!(row == 0 || row == 7, "ctrl {i} tile {t} not on a border row");
+        }
+        // Top and bottom are both used.
+        assert!((0..8).any(|i| c.mem_ctrl_tile(i) < 8));
+        assert!((0..8).any(|i| c.mem_ctrl_tile(i) >= 56));
+    }
+
+    #[test]
+    fn ctrl_mapping_covers_all() {
+        let c = SystemConfig::paper();
+        let mut seen = vec![false; 8];
+        for b in 0..64u64 {
+            seen[c.mem_ctrl_of(b)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn small_config_consistent() {
+        let c = SystemConfig::small();
+        assert_eq!(c.tiles(), 16);
+        assert_eq!(c.noc.cols * c.noc.rows, 16);
+        for i in 0..c.mem_controllers {
+            assert!(c.mem_ctrl_tile(i) < 16);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # cmpsim
+//!
+//! The complete simulator assembling every substrate of the workspace —
+//! the reproduction of *Energy-Efficient Cache Coherence Protocols in
+//! Chip-Multiprocessors for Server Consolidation* (ICPP 2011):
+//!
+//! * a tiled CMP (8x8 by default) with in-order cores, split-level
+//!   caches and per-tile L2 banks, driven by one of the four coherence
+//!   protocols (`Directory`, `DiCo`, `DiCo-Providers`, `DiCo-Arin`);
+//! * a 2D-mesh NoC with contention and broadcast support;
+//! * eight memory controllers along the chip borders (300-cycle DRAM
+//!   plus a small random delay, per Table III);
+//! * consolidated virtual machines with memory deduplication and the
+//!   matched / alternative tile placements of Figure 6;
+//! * the synthetic workloads of Table IV;
+//! * energy accounting through `cmpsim-power`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cmpsim::{run_benchmark, SystemConfig};
+//! use cmpsim_protocols::ProtocolKind;
+//! use cmpsim_workloads::Benchmark;
+//!
+//! let cfg = SystemConfig::smoke(); // tiny run for doc tests
+//! let result = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg);
+//! assert!(result.measured_refs > 0);
+//! println!(
+//!     "{}: {:.4} refs/cycle, {:.2} uJ",
+//!     result.protocol.name(),
+//!     result.throughput(),
+//!     result.total_dynamic_uj()
+//! );
+//! ```
+
+pub mod config;
+pub mod report;
+pub mod result;
+pub mod sim;
+
+pub use config::SystemConfig;
+pub use result::RunResult;
+pub use sim::{build_protocol, run_benchmark, run_matrix, CmpSimulator};
+
+// Re-export the pieces callers need to drive experiments.
+pub use cmpsim_protocols::{MissClass, ProtocolKind};
+pub use cmpsim_virt::Placement;
+pub use cmpsim_workloads::{Benchmark, Metric};

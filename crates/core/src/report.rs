@@ -1,0 +1,90 @@
+//! Plain-text report formatting shared by the benchmark binaries and
+//! examples: aligned tables and normalized series, in the style of the
+//! paper's figures.
+
+/// Formats a table with a header row and aligned columns.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out += &fmt_row(&head, &widths);
+    out += "\n";
+    out += &"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1));
+    out += "\n";
+    for r in rows {
+        out += &fmt_row(r, &widths);
+        out += "\n";
+    }
+    out
+}
+
+/// Normalizes a series to its first element (the paper normalizes every
+/// figure to the Directory bar).
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    let base = series.first().copied().unwrap_or(1.0);
+    series.iter().map(|v| if base != 0.0 { v / base } else { 0.0 }).collect()
+}
+
+/// A unicode bar for quick visual comparison in terminal reports.
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round() as usize).min(60);
+    "#".repeat(n)
+}
+
+/// Formats a ratio as a percent delta ("-38%", "+6%").
+pub fn pct_delta(value: f64, base: f64) -> String {
+    let d = 100.0 * (value / base - 1.0);
+    format!("{:+.1}%", d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn normalize_to_first() {
+        assert_eq!(normalize(&[2.0, 1.0, 4.0]), vec![1.0, 0.5, 2.0]);
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn pct_delta_signs() {
+        assert_eq!(pct_delta(0.62, 1.0), "-38.0%");
+        assert_eq!(pct_delta(1.06, 1.0), "+6.0%");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(100.0, 1.0).len(), 60);
+        assert_eq!(bar(0.2, 10.0).len(), 2);
+    }
+}

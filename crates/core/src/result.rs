@@ -1,0 +1,215 @@
+//! Results of one simulation run, with the derived metrics every report
+//! uses.
+
+use cmpsim_engine::Cycle;
+use cmpsim_noc::NocStats;
+use cmpsim_power::{CacheEnergy, EnergyModel, NetworkEnergy};
+use cmpsim_protocols::{MissClass, ProtoStats, ProtocolKind};
+use cmpsim_virt::Placement;
+use cmpsim_workloads::{Benchmark, Metric};
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Protocol simulated.
+    pub protocol: ProtocolKind,
+    /// Benchmark configuration.
+    pub benchmark: Benchmark,
+    /// VM placement used.
+    pub placement: Placement,
+    /// Measured cycles (post-warm-up until the last core finished).
+    pub cycles: Cycle,
+    /// References completed in the measured window.
+    pub measured_refs: u64,
+    /// Mean per-core completion time (post-warm-up), cycles.
+    pub avg_finish: f64,
+    /// Mean completion time per VM (paper Table IV: "average execution
+    /// time of all the VMs"), cycles, indexed by VM id.
+    pub vm_finish: Vec<f64>,
+    /// Raw protocol event counts.
+    pub proto_stats: ProtoStats,
+    /// Raw network counts.
+    pub noc_stats: NocStats,
+    /// Cache dynamic energy (nJ), Figure 8a categories.
+    pub cache_energy: CacheEnergy,
+    /// Network dynamic energy (nJ), Figure 8b categories.
+    pub net_energy: NetworkEnergy,
+    /// Memory saved by deduplication (Table IV metric).
+    pub dedup_savings: f64,
+}
+
+impl RunResult {
+    /// Assembles a result, computing the energy breakdowns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect(
+        protocol: ProtocolKind,
+        benchmark: Benchmark,
+        placement: Placement,
+        tiles: u64,
+        areas: u64,
+        cycles: Cycle,
+        measured_refs: u64,
+        avg_finish: f64,
+        vm_finish: Vec<f64>,
+        proto_stats: &ProtoStats,
+        noc_stats: &NocStats,
+        dedup_savings: f64,
+    ) -> Self {
+        let model = EnergyModel::new(protocol, tiles, areas);
+        Self {
+            protocol,
+            benchmark,
+            placement,
+            cycles,
+            measured_refs,
+            avg_finish,
+            vm_finish,
+            cache_energy: model.cache_energy(proto_stats),
+            net_energy: model.network_energy(noc_stats),
+            proto_stats: proto_stats.clone(),
+            noc_stats: noc_stats.clone(),
+            dedup_savings,
+        }
+    }
+
+    /// References per cycle across the whole chip (the throughput
+    /// metric: transactions in a fixed cycle budget).
+    pub fn throughput(&self) -> f64 {
+        self.measured_refs as f64 / self.cycles as f64
+    }
+
+    /// The paper's per-benchmark performance score, normalized so that
+    /// **bigger is better** for both metric classes.
+    pub fn performance(&self) -> f64 {
+        match self.benchmark.metric() {
+            Metric::Throughput => self.throughput(),
+            // Average execution time: invert so bigger is better.
+            Metric::ExecTime => 1.0 / self.avg_finish.max(1.0),
+        }
+    }
+
+    /// Total dynamic energy, nanojoules (caches + network).
+    pub fn total_dynamic_nj(&self) -> f64 {
+        self.cache_energy.total() + self.net_energy.total()
+    }
+
+    /// Total dynamic energy, microjoules.
+    pub fn total_dynamic_uj(&self) -> f64 {
+        self.total_dynamic_nj() / 1000.0
+    }
+
+    /// L1 miss rate over the measured window.
+    pub fn l1_miss_rate(&self) -> f64 {
+        let s = &self.proto_stats;
+        s.l1_misses.get() as f64 / s.accesses.get().max(1) as f64
+    }
+
+    /// Off-chip accesses per L2-reaching request — a proxy for the L2
+    /// miss rate the paper quotes (>40% for JBB).
+    pub fn l2_miss_rate(&self) -> f64 {
+        let s = &self.proto_stats;
+        s.mem_reads.get() as f64 / s.l1_misses.get().max(1) as f64
+    }
+
+    /// Figure 9b: fraction of completed misses in `class`.
+    pub fn miss_class_frac(&self, class: MissClass) -> f64 {
+        let total: u64 = MissClass::all()
+            .iter()
+            .map(|c| self.proto_stats.class_count(*c))
+            .sum();
+        self.proto_stats.class_count(class) as f64 / total.max(1) as f64
+    }
+
+    /// Average links traversed per network message (paper §V-D).
+    pub fn avg_links_per_message(&self) -> f64 {
+        self.noc_stats.links_per_message.mean()
+    }
+
+    /// Average L1-miss resolution latency in cycles (paper §V-D:
+    /// shortened misses "cause a noticeable reduction in the average
+    /// miss latency").
+    pub fn avg_miss_latency(&self) -> f64 {
+        self.proto_stats.miss_latency.mean()
+    }
+
+    /// Approximate p-th percentile of the miss latency (from the log2
+    /// histogram; tail behaviour under contention).
+    pub fn miss_latency_percentile(&self, p: f64) -> u64 {
+        self.proto_stats.miss_latency_hist.percentile(p)
+    }
+
+    /// Spread between the slowest and fastest VM (fairness indicator;
+    /// ~1.0 means the areas progressed evenly).
+    pub fn vm_imbalance(&self) -> f64 {
+        let max = self.vm_finish.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.vm_finish.iter().cloned().fold(f64::MAX, f64::min);
+        if min > 0.0 {
+            max / min
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunResult {
+        let mut stats = ProtoStats::default();
+        stats.accesses.add(100);
+        stats.l1_misses.add(20);
+        stats.l1_hits.add(80);
+        stats.mem_reads.add(5);
+        stats.record_miss(MissClass::Memory, 100);
+        stats.record_miss(MissClass::UnpredictedHome, 50);
+        RunResult::collect(
+            ProtocolKind::DiCo,
+            Benchmark::Apache,
+            Placement::Matched,
+            64,
+            4,
+            1000,
+            100,
+            900.0,
+            vec![900.0; 4],
+            &stats,
+            &NocStats::default(),
+            0.2,
+        )
+    }
+
+    #[test]
+    fn throughput_is_refs_per_cycle() {
+        let r = dummy();
+        assert!((r.throughput() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rates() {
+        let r = dummy();
+        assert!((r.l1_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((r.l2_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_class_fractions_sum_to_one() {
+        let r = dummy();
+        let total: f64 =
+            MissClass::all().iter().map(|c| r.miss_class_frac(*c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vm_imbalance_of_even_vms_is_one() {
+        let r = dummy();
+        assert!((r.vm_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_time_metric_inverts() {
+        let mut r = dummy();
+        r.benchmark = Benchmark::Radix;
+        assert!((r.performance() - 1.0 / 900.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,426 @@
+//! The whole-chip simulator: cores, NoC, memory controllers and one
+//! coherence protocol, driven by a deterministic event loop.
+
+use crate::config::SystemConfig;
+use crate::result::RunResult;
+use cmpsim_engine::par::par_map;
+use cmpsim_engine::{Cycle, EventQueue, SimRng};
+use cmpsim_noc::Mesh;
+use cmpsim_protocols::arin::Arin;
+use cmpsim_protocols::common::{
+    AccessOutcome, Block, ChipSpec, CoherenceProtocol, Ctx, Msg, MsgKind, Node, Tile,
+};
+use cmpsim_protocols::dico::DiCo;
+use cmpsim_protocols::directory::Directory;
+use cmpsim_protocols::providers::Providers;
+use cmpsim_protocols::ProtocolKind;
+use cmpsim_virt::mem::LogicalPage;
+use cmpsim_virt::MachineMemory;
+use cmpsim_workloads::{Benchmark, CoreStream};
+use std::collections::BTreeMap;
+
+/// Builds a protocol instance for `spec`.
+pub fn build_protocol(kind: ProtocolKind, spec: ChipSpec) -> Box<dyn CoherenceProtocol> {
+    match kind {
+        ProtocolKind::Directory => Box::new(Directory::new(spec)),
+        ProtocolKind::DiCo => Box::new(DiCo::new(spec)),
+        ProtocolKind::DiCoProviders => Box::new(Providers::new(spec)),
+        ProtocolKind::DiCoArin => Box::new(Arin::new(spec)),
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// The core of a tile wants to make progress.
+    CoreResume(Tile),
+    /// A coherence message arrives.
+    Deliver(Msg),
+}
+
+struct Core {
+    stream: CoreStream,
+    vm: usize,
+    /// Translated reference waiting to issue (after its think gap, or a
+    /// Blocked retry).
+    pending: Option<(Block, bool)>,
+    outstanding: bool,
+    refs_done: u64,
+    finished_at: Option<Cycle>,
+}
+
+/// One full-system simulation.
+pub struct CmpSimulator {
+    cfg: SystemConfig,
+    proto: Box<dyn CoherenceProtocol>,
+    mesh: Mesh,
+    queue: EventQueue<Ev>,
+    cores: Vec<Core>,
+    memory: MachineMemory,
+    benchmark: Benchmark,
+    rng: SimRng,
+    /// Point-to-point FIFO delivery floors (wormhole meshes preserve
+    /// per-pair ordering; the protocols rely on it).
+    fifo: BTreeMap<(Node, Node), Cycle>,
+    /// Memory controller availability.
+    ctrl_free: Vec<Cycle>,
+    /// Warm-up bookkeeping.
+    warmed_up: bool,
+    measure_start: Cycle,
+    refs_at_reset: u64,
+    events: u64,
+}
+
+impl CmpSimulator {
+    /// Builds a simulator for one protocol/benchmark/config triple.
+    pub fn new(kind: ProtocolKind, benchmark: Benchmark, cfg: &SystemConfig) -> Self {
+        let tiles = cfg.tiles();
+        assert_eq!(
+            cfg.noc.cols * cfg.noc.rows,
+            tiles,
+            "NoC dimensions must match the chip"
+        );
+        let mut rng = SimRng::new(cfg.seed);
+        let areas = &cfg.chip.areas;
+        let cores = (0..tiles)
+            .map(|t| {
+                let vm = cfg.placement.vm_of_tile(areas, cfg.num_vms, t);
+                let profile = benchmark.profile_for_vm(vm, cfg.num_vms);
+                // Slot of this core within its VM (0..cores_per_vm).
+                let core_in_vm = cfg
+                    .placement
+                    .tiles_of_vm(areas, cfg.num_vms, vm)
+                    .iter()
+                    .position(|&x| x == t)
+                    .expect("tile in own VM") as u64;
+                Core {
+                    stream: CoreStream::new(profile, core_in_vm, rng.fork(t as u64)),
+                    vm,
+                    pending: None,
+                    outstanding: false,
+                    refs_done: 0,
+                    finished_at: None,
+                }
+            })
+            .collect();
+        Self {
+            proto: build_protocol(kind, cfg.chip.clone()),
+            mesh: Mesh::new(cfg.noc),
+            queue: EventQueue::with_capacity(4 * tiles),
+            cores,
+            memory: MachineMemory::new(cfg.num_vms),
+            benchmark,
+            rng,
+            fifo: BTreeMap::new(),
+            ctrl_free: vec![0; cfg.mem_controllers],
+            warmed_up: false,
+            measure_start: 0,
+            refs_at_reset: 0,
+            events: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn flits(&self, kind: &MsgKind) -> u64 {
+        if kind.carries_data() {
+            self.cfg.noc.data_flits
+        } else {
+            self.cfg.noc.control_flits
+        }
+    }
+
+    fn deliver(&mut self, at: Cycle, msg: Msg) {
+        let key = (msg.src, msg.dst);
+        let mut at = at;
+        if let Some(&floor) = self.fifo.get(&key) {
+            at = at.max(floor);
+        }
+        self.fifo.insert(key, at);
+        self.queue.push(at, Ev::Deliver(msg));
+    }
+
+    /// Routes one Ctx worth of protocol output through the chip.
+    fn apply_ctx(&mut self, now: Cycle, ctx: Ctx) {
+        for out in ctx.sends {
+            let flits = self.flits(&out.msg.kind);
+            let d = self.mesh.send(now + out.delay, out.msg.src.tile(), out.msg.dst.tile(), flits);
+            self.deliver(d.arrival, out.msg);
+        }
+        for b in ctx.bcasts {
+            let flits = if b.kind.carries_data() {
+                self.cfg.noc.data_flits
+            } else {
+                self.cfg.noc.control_flits
+            };
+            let arrivals = self.mesh.broadcast(now + b.delay, b.src.tile(), flits);
+            for (t, at) in arrivals {
+                if Some(t) == b.exclude {
+                    continue;
+                }
+                self.deliver(at, Msg { kind: b.kind, block: b.block, src: b.src, dst: Node::L1(t) });
+            }
+            // The source's own L1 may also be a destination (e.g. the
+            // home bank broadcasting to its co-located L1).
+            let src_tile = b.src.tile();
+            if Some(src_tile) != b.exclude && matches!(b.src, Node::L2(_)) {
+                self.deliver(
+                    now + b.delay + 1,
+                    Msg { kind: b.kind, block: b.block, src: b.src, dst: Node::L1(src_tile) },
+                );
+            }
+        }
+        for m in ctx.replays {
+            self.queue.push(now, Ev::Deliver(m));
+        }
+        for op in ctx.mem_ops {
+            let ctrl = self.cfg.mem_ctrl_of(op.block);
+            let ctrl_tile = self.cfg.mem_ctrl_tile(ctrl);
+            let flits =
+                if op.is_write { self.cfg.noc.data_flits } else { self.cfg.noc.control_flits };
+            let d = self.mesh.send(now + op.delay, op.home, ctrl_tile, flits);
+            let start = d.arrival.max(self.ctrl_free[ctrl]);
+            self.ctrl_free[ctrl] = start + self.cfg.mem_service;
+            if !op.is_write {
+                let ready = start + self.cfg.mem_latency + self.rng.jitter(self.cfg.mem_jitter);
+                let back =
+                    self.mesh.send(ready, ctrl_tile, op.home, self.cfg.noc.data_flits);
+                self.deliver(
+                    back.arrival,
+                    Msg {
+                        kind: MsgKind::MemData,
+                        block: op.block,
+                        src: Node::L2(op.home),
+                        dst: Node::L2(op.home),
+                    },
+                );
+            }
+        }
+        for c in ctx.completions {
+            let core = &mut self.cores[c.tile];
+            debug_assert!(core.outstanding, "completion without outstanding access");
+            core.outstanding = false;
+            core.refs_done += 1;
+            self.queue.push(now + c.delay + 1, Ev::CoreResume(c.tile));
+        }
+    }
+
+    fn core_resume(&mut self, now: Cycle, tile: Tile) {
+        if self.cores[tile].outstanding {
+            return;
+        }
+        if self.cores[tile].refs_done >= self.cfg.refs_per_core {
+            if self.cores[tile].finished_at.is_none() {
+                self.cores[tile].finished_at = Some(now);
+            }
+            return;
+        }
+        // Generate (and translate) the next reference if none is pending.
+        if self.cores[tile].pending.is_none() {
+            let vm = self.cores[tile].vm;
+            let r = self.cores[tile].stream.next_ref();
+            let lp = LogicalPage { vm, region: r.region, index: r.page_index };
+            let block = self.memory.translate(lp, r.block_in_page, r.is_write);
+            self.cores[tile].pending = Some((block, r.is_write));
+            if r.gap > 0 {
+                // Non-memory work before the access issues.
+                self.queue.push(now + r.gap, Ev::CoreResume(tile));
+                return;
+            }
+        }
+        let (block, write) = self.cores[tile].pending.expect("pending set above");
+        let mut ctx = Ctx::at(now);
+        match self.proto.core_access(&mut ctx, tile, block, write) {
+            AccessOutcome::Hit { latency } => {
+                self.cores[tile].pending = None;
+                self.cores[tile].refs_done += 1;
+                self.apply_ctx(now, ctx);
+                self.queue.push(now + latency, Ev::CoreResume(tile));
+            }
+            AccessOutcome::Miss => {
+                self.cores[tile].pending = None;
+                self.cores[tile].outstanding = true;
+                self.apply_ctx(now, ctx);
+            }
+            AccessOutcome::Blocked => {
+                self.apply_ctx(now, ctx);
+                self.queue.push(now + 7, Ev::CoreResume(tile));
+            }
+        }
+    }
+
+    fn maybe_finish_warmup(&mut self, now: Cycle) {
+        if self.warmed_up {
+            return;
+        }
+        let total: u64 = self.cores.iter().map(|c| c.refs_done).sum();
+        let target = (self.cfg.warmup_frac
+            * (self.cfg.refs_per_core * self.cores.len() as u64) as f64) as u64;
+        if total >= target {
+            self.warmed_up = true;
+            self.measure_start = now;
+            self.refs_at_reset = total;
+            self.proto.reset_stats();
+            self.mesh.reset_stats();
+        }
+    }
+
+    /// Runs to completion and returns the measured results.
+    pub fn run(mut self) -> RunResult {
+        let tiles = self.cores.len();
+        for t in 0..tiles {
+            self.queue.push(0, Ev::CoreResume(t));
+        }
+        let budget = self.cfg.refs_per_core * tiles as u64 * 600 + 5_000_000;
+        while let Some((now, ev)) = self.queue.pop() {
+            self.events += 1;
+            assert!(
+                self.events <= budget,
+                "simulation exceeded its event budget (deadlock?)\n{}",
+                self.proto.pending_summary()
+            );
+            match ev {
+                Ev::CoreResume(tile) => self.core_resume(now, tile),
+                Ev::Deliver(msg) => {
+                    if let Some(b) = std::env::var("CMPSIM_TRACE_BLOCK")
+                        .ok()
+                        .and_then(|v| v.parse::<u64>().ok())
+                    {
+                        if msg.block == b {
+                            eprintln!("[{now}] {msg:?}");
+                        }
+                    }
+                    let mut ctx = Ctx::at(now);
+                    self.proto.handle(&mut ctx, msg);
+                    self.apply_ctx(now, ctx);
+                }
+            }
+            self.maybe_finish_warmup(now);
+        }
+        for (t, c) in self.cores.iter().enumerate() {
+            assert!(
+                c.refs_done >= self.cfg.refs_per_core,
+                "core {t} stalled at {}/{} refs\n{}",
+                c.refs_done,
+                self.cfg.refs_per_core,
+                self.proto.pending_summary()
+            );
+        }
+        assert!(
+            self.proto.quiescent(),
+            "protocol not quiescent after drain\n{}",
+            self.proto.pending_summary()
+        );
+
+        let last_finish =
+            self.cores.iter().map(|c| c.finished_at.unwrap_or(0)).max().unwrap_or(0);
+        let avg_finish = self.cores.iter().map(|c| c.finished_at.unwrap_or(0) as f64).sum::<f64>()
+            / tiles as f64;
+        let total_refs: u64 = self.cores.iter().map(|c| c.refs_done).sum();
+        // Per-VM mean completion time (the paper's ExecTime metric).
+        let mut vm_sum = vec![0.0f64; self.cfg.num_vms];
+        let mut vm_n = vec![0u64; self.cfg.num_vms];
+        for c in &self.cores {
+            vm_sum[c.vm] += c.finished_at.unwrap_or(0) as f64 - self.measure_start as f64;
+            vm_n[c.vm] += 1;
+        }
+        let vm_finish: Vec<f64> =
+            vm_sum.iter().zip(&vm_n).map(|(s, &n)| s / n.max(1) as f64).collect();
+        RunResult::collect(
+            self.proto.kind(),
+            self.benchmark,
+            self.cfg.placement,
+            self.cfg.tiles() as u64,
+            self.cfg.chip.num_areas() as u64,
+            last_finish.saturating_sub(self.measure_start).max(1),
+            total_refs - self.refs_at_reset,
+            avg_finish.max(1.0) - self.measure_start as f64,
+            vm_finish,
+            self.proto.stats(),
+            self.mesh.stats(),
+            self.memory.dedup_savings(),
+        )
+    }
+}
+
+/// Runs one protocol on one benchmark.
+pub fn run_benchmark(kind: ProtocolKind, benchmark: Benchmark, cfg: &SystemConfig) -> RunResult {
+    CmpSimulator::new(kind, benchmark, cfg).run()
+}
+
+/// Runs every (protocol, benchmark) pair of the given lists in parallel
+/// across host cores, returning results in row-major order
+/// (`benchmarks x protocols`).
+pub fn run_matrix(
+    protocols: &[ProtocolKind],
+    benchmarks: &[Benchmark],
+    cfg: &SystemConfig,
+) -> Vec<RunResult> {
+    let jobs: Vec<(ProtocolKind, Benchmark)> = benchmarks
+        .iter()
+        .flat_map(|&b| protocols.iter().map(move |&p| (p, b)))
+        .collect();
+    par_map(&jobs, |&(p, b)| run_benchmark(p, b, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_all_protocols_complete() {
+        let cfg = SystemConfig::smoke();
+        for kind in ProtocolKind::all() {
+            let r = run_benchmark(kind, Benchmark::Radix, &cfg);
+            assert!(r.measured_refs > 0, "{kind:?}");
+            assert!(r.cycles > 0);
+            assert!(r.proto_stats.l1_hits.get() > 0, "{kind:?} should have hits");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SystemConfig::smoke();
+        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
+        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.measured_refs, b.measured_refs);
+        assert_eq!(a.noc_stats.messages.get(), b.noc_stats.messages.get());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SystemConfig::smoke();
+        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
+        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg.clone().with_seed(99));
+        assert_ne!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn alt_placement_runs() {
+        let cfg = SystemConfig::smoke().with_placement(cmpsim_virt::Placement::Alternative);
+        let r = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg);
+        assert!(r.measured_refs > 0);
+    }
+
+    #[test]
+    fn dedup_savings_reported() {
+        let cfg = SystemConfig::small();
+        let r = run_benchmark(ProtocolKind::Directory, Benchmark::Apache, &cfg);
+        // Apache's pools are sized for ~21.7% savings once fully touched;
+        // a short run underestimates but must be clearly nonzero.
+        assert!(r.dedup_savings > 0.02, "savings {}", r.dedup_savings);
+    }
+
+    #[test]
+    fn matrix_runs_in_parallel() {
+        let cfg = SystemConfig::smoke();
+        let rs = run_matrix(
+            &[ProtocolKind::Directory, ProtocolKind::DiCoArin],
+            &[Benchmark::Radix, Benchmark::Apache],
+            &cfg,
+        );
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0].protocol, ProtocolKind::Directory);
+        assert_eq!(rs[0].benchmark.name(), "radix4x16p");
+        assert_eq!(rs[3].protocol, ProtocolKind::DiCoArin);
+    }
+}

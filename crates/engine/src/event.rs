@@ -1,0 +1,197 @@
+//! Deterministic discrete-event queue.
+//!
+//! The queue orders events primarily by their scheduled [`Cycle`] and
+//! secondarily by insertion order, so two events scheduled for the same
+//! cycle are always delivered in the order they were pushed. This makes a
+//! whole simulation a pure function of its inputs (configuration + RNG
+//! seed), which the test suite relies on for replay-based debugging.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in processor clock cycles.
+pub type Cycle = u64;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// ```
+/// use cmpsim_engine::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b"))); // FIFO among same-cycle events
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at cycle 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), next_seq: 0, now: 0 }
+    }
+
+    /// The cycle of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `ev` for cycle `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past would violate causality and always indicates a model bug.
+    pub fn push(&mut self, at: Cycle, ev: E) {
+        assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// The cycle of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn fifo_within_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.push(5, ());
+        q.push(9, ());
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(3, ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(10, 'a');
+        q.pop();
+        q.push(10, 'b');
+        assert_eq!(q.pop(), Some((10, 'b')));
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, ());
+        q.push(17, ());
+        assert_eq!(q.peek_time(), Some(17));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(42));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # cmpsim-engine
+//!
+//! Discrete-event simulation kernel used by every other crate in the
+//! workspace. It provides:
+//!
+//! * [`Cycle`] — the simulated time unit (one processor clock cycle).
+//! * [`EventQueue`] — a deterministic time-ordered event queue. Events that
+//!   are scheduled for the same cycle are delivered in FIFO (insertion)
+//!   order, which makes whole-chip simulations bit-reproducible.
+//! * [`rng::SimRng`] — a small, fast, fully deterministic PRNG
+//!   (splitmix64-seeded xoshiro256++) so that results never depend on the
+//!   version of an external crate.
+//! * [`stats`] — counters, running means and power-of-two latency
+//!   histograms used for every measurement reported by the benchmark
+//!   harness.
+//! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
+//!   used to run independent simulations (protocol × workload sweeps) on
+//!   all host cores.
+//!
+//! The kernel is intentionally single-threaded *within* one simulation:
+//! cycle-level coherence simulators are causality-bound, so parallelism is
+//! applied across the parameter sweep, not inside one run.
+
+pub mod event;
+pub mod par;
+pub mod rng;
+pub mod stats;
+
+pub use event::{Cycle, EventQueue};
+pub use rng::SimRng;

@@ -1,0 +1,121 @@
+//! Scoped-thread parallel map for experiment sweeps.
+//!
+//! One coherence simulation is inherently sequential (events are causally
+//! ordered), but the evaluation runs dozens of independent simulations
+//! (protocol × workload × placement). `par_map` fans those out over host
+//! cores with plain `std::thread::scope` — no work stealing is needed
+//! because tasks are few and long, and a simple atomic cursor balances
+//! unequal run times.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every element of `items` in parallel and returns the
+/// results in input order. `f` must be `Sync` (it is shared by reference
+/// across worker threads).
+///
+/// Worker count defaults to `std::thread::available_parallelism`, capped by
+/// the number of items.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_threads(items, num_threads(), f)
+}
+
+/// As [`par_map`], with an explicit worker count (≥ 1).
+pub fn par_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                let mut guard = slots.lock().unwrap();
+                for (i, r) in local {
+                    guard[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Host parallelism (≥ 1).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let out = par_map(&input, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = vec![];
+        let out: Vec<u32> = par_map(&input, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let input: Vec<u32> = (0..10).collect();
+        let out = par_map_with_threads(&input, 1, |&x| x + 1);
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let input = vec![1u32, 2, 3];
+        let out = par_map_with_threads(&input, 64, |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn unbalanced_work_completes() {
+        let input: Vec<u64> = (0..32).collect();
+        let out = par_map_with_threads(&input, 4, |&x| {
+            // Uneven busy work.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc ^ x
+        });
+        assert_eq!(out.len(), 32);
+    }
+}

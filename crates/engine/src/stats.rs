@@ -1,0 +1,234 @@
+//! Measurement primitives: counters, running means, and log2 histograms.
+//!
+//! Everything the benchmark harness reports is accumulated through these
+//! types, so they are deliberately tiny and allocation-free on the hot
+//! path.
+
+/// A saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Running mean/min/max over `u64` samples (e.g. miss latencies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Running {
+    n: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Running {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if self.n == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.n += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Power-of-two bucketed histogram for latency distributions.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))`, with bucket 0 holding
+/// `{0, 1}`.
+#[derive(Debug, Clone)]
+pub struct Log2Hist {
+    buckets: [u64; 40],
+    running: Running,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self { buckets: [0; 40], running: Running::default() }
+    }
+}
+
+impl Log2Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.max(1).leading_zeros() - 1).min(39) as usize;
+        self.buckets[b] += 1;
+        self.running.record(v);
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Summary statistics over all recorded samples.
+    pub fn summary(&self) -> &Running {
+        &self.running
+    }
+
+    /// Approximate p-th percentile (`p` in `[0,100]`) from bucket
+    /// boundaries; exact enough for reporting tail latencies.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.running.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return 1u64 << i;
+            }
+        }
+        self.running.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn running_mean_min_max() {
+        let mut r = Running::default();
+        for v in [4u64, 8, 12] {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.min(), 4);
+        assert_eq!(r.max(), 12);
+        assert!((r.mean() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_merge() {
+        let mut a = Running::default();
+        a.record(1);
+        a.record(3);
+        let mut b = Running::default();
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 10);
+        assert_eq!(a.min(), 1);
+        let empty = Running::default();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn hist_buckets() {
+        let mut h = Log2Hist::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2 and 3
+        assert_eq!(h.bucket(10), 1); // 1024
+    }
+
+    #[test]
+    fn hist_percentile_monotone() {
+        let mut h = Log2Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.percentile(50.0) <= h.percentile(90.0));
+        assert!(h.percentile(90.0) <= h.percentile(100.0));
+    }
+
+    #[test]
+    fn hist_empty_percentile_zero() {
+        let h = Log2Hist::new();
+        assert_eq!(h.percentile(99.0), 0);
+    }
+}

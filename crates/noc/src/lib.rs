@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # cmpsim-noc
+//!
+//! Network-on-chip model for the tiled CMP: a bidimensional mesh with
+//! dimension-ordered (XY) routing, per-link wormhole serialization and
+//! contention, and tree-based broadcast support (the Garnet-with-broadcast
+//! configuration the paper uses).
+//!
+//! Timing follows Table III of the paper: 2 cycles per link, 2 cycles per
+//! switch and 1 cycle per router in the absence of contention, 16-byte
+//! flits and links, 1-flit control packets and 5-flit data packets. A
+//! message of `F` flits occupies each traversed link for `F` cycles after
+//! its header, which is how contention (and the broadcast pressure of
+//! DiCo-Arin in high-miss-rate workloads) becomes visible in both latency
+//! and the queueing component of power.
+//!
+//! Energy accounting exports two raw counts per message: *routing events*
+//! (one per router hop) and *flit-link traversals*; `cmpsim-power` applies
+//! the paper's network energy model (routing a message costs as much as an
+//! L1 block read and 4x a flit transmission) to these counts.
+
+pub mod mesh;
+pub mod stats;
+
+pub use mesh::{Delivery, Mesh, NocConfig};
+pub use stats::NocStats;

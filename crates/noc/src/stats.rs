@@ -1,0 +1,61 @@
+//! Traffic statistics exported to the power model and the reports.
+
+use cmpsim_engine::stats::{Counter, Running};
+
+/// Raw NoC activity counts for one simulation.
+///
+/// `routing_events` and `flit_link_traversals` are the two inputs of the
+/// paper's network energy model (§V-A): each routing event costs as much
+/// energy as one L1 block read, i.e. four flit transmissions.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Messages injected (unicast + broadcast roots).
+    pub messages: Counter,
+    /// Broadcast operations.
+    pub broadcasts: Counter,
+    /// Deliveries where source == destination tile (no network use).
+    pub local_deliveries: Counter,
+    /// Router traversals (one per link hop per message).
+    pub routing_events: Counter,
+    /// Flit x link traversals (bandwidth use).
+    pub flit_link_traversals: Counter,
+    /// Cycles lost to link contention across all messages.
+    pub contention_cycles: Counter,
+    /// Links traversed per unicast message.
+    pub links_per_message: Running,
+    /// End-to-end latency per unicast message.
+    pub message_latency: Running,
+}
+
+impl NocStats {
+    /// Merges another stats block (used when aggregating runs).
+    pub fn merge(&mut self, o: &NocStats) {
+        self.messages.add(o.messages.get());
+        self.broadcasts.add(o.broadcasts.get());
+        self.local_deliveries.add(o.local_deliveries.get());
+        self.routing_events.add(o.routing_events.get());
+        self.flit_link_traversals.add(o.flit_link_traversals.get());
+        self.contention_cycles.add(o.contention_cycles.get());
+        self.links_per_message.merge(&o.links_per_message);
+        self.message_latency.merge(&o.message_latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = NocStats::default();
+        a.messages.add(3);
+        a.links_per_message.record(4);
+        let mut b = NocStats::default();
+        b.messages.add(2);
+        b.links_per_message.record(8);
+        a.merge(&b);
+        assert_eq!(a.messages.get(), 5);
+        assert_eq!(a.links_per_message.count(), 2);
+        assert_eq!(a.links_per_message.max(), 8);
+    }
+}

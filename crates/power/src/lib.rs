@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # cmpsim-power
+//!
+//! The paper's power methodology (§V-A/§V-B):
+//!
+//! * [`structures`] — per-protocol inventory of every SRAM structure in a
+//!   tile (data arrays, tag arrays, embedded coherence information, the
+//!   directory cache / L1C$ / L2C$), parameterized by core count and
+//!   area count. This is the single source of truth behind Tables V,
+//!   VI and VII.
+//! * [`overhead`] — storage-overhead analytics reproducing Table V (the
+//!   per-tile breakdown for the 64-tile, 4-area chip) and Table VII (the
+//!   sweep over 64–1024 cores and 2–1024 areas).
+//! * [`leakage`] — static power per tile, calibrated so the Directory
+//!   configuration matches the paper's CACTI 6.5 anchors (239 mW total,
+//!   37 mW in the tag structures at 32 nm); Table VI.
+//! * [`dynamic`] — per-event energies (CACTI-style square-root capacity
+//!   scaling) and the paper's network model (routing a message costs as
+//!   much as reading an L1 block and four times a flit transmission),
+//!   turning simulator event counts into the Figure 7/8 breakdowns.
+
+pub mod dynamic;
+pub mod leakage;
+pub mod overhead;
+pub mod structures;
+
+pub use dynamic::{CacheEnergy, EnergyModel, NetworkEnergy};
+pub use leakage::{leakage_per_tile, Leakage};
+pub use overhead::{overhead_percent, table_v_rows, OverheadRow};
+pub use structures::{ChipGeometry, Structure, StructureClass};

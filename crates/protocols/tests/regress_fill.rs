@@ -1,0 +1,21 @@
+//! Regression: proptest-minimized DiCo script (tiny chip) that produced
+//! a "fill without MSHR" — a data response arriving after its request
+//! was satisfied out of band.
+
+use cmpsim_engine::SimRng;
+use cmpsim_protocols::common::ChipSpec;
+use cmpsim_protocols::dico::DiCo;
+use cmpsim_protocols::harness::Harness;
+
+#[test]
+fn minimized_zombie_fill_script() {
+    let script: &[(usize, u64, bool)] = &[
+        (1,3,true),(3,38,false),(0,47,false),(2,41,false),(3,34,false),(2,39,false),(0,39,false),(0,3,false),(3,24,true),(3,6,true),(3,31,false),(1,26,false),(1,24,false),(3,35,false),(1,1,true),(3,36,true),(1,5,false),(3,4,true),(0,22,false),(2,41,false),(3,40,false),(1,21,true),(3,37,true),(3,17,false),(3,32,true),(0,24,false),(3,22,true),(2,33,false),(2,17,false),(1,11,false),(2,11,false),(0,0,false),(1,39,false),(3,31,true),(2,20,false),(1,41,false),(3,11,false),(0,3,false),(2,32,true),(1,47,true),(3,21,false),(1,11,false),(0,27,true),(2,23,true),(1,12,false),(2,45,false),(2,40,false),(2,33,false),(0,19,true),(3,22,false),(2,14,false),(3,4,false),(1,30,false),(0,47,false),(1,24,false),(2,10,false),(1,15,true),(0,8,false),(3,25,false),(2,13,false),(1,16,false),(2,40,false),(0,9,true),(1,8,true),(2,17,true),(3,37,false),(0,8,false),(3,1,true),(1,20,false),(3,7,false),(0,43,false),(3,36,false),(1,6,false),(3,7,true),(1,22,true),(1,24,false),(0,31,false),(0,5,true),(0,39,false),(3,35,true),(2,14,false),(1,43,true),(3,5,true),(0,34,false),(3,47,false),(3,21,false),(2,13,false),(1,21,false),(2,32,false),(1,28,false),(1,20,true),(2,20,false),(0,11,false),(2,29,false),(1,28,true),(2,46,false),(2,37,false),(3,41,false),(1,38,false),(2,45,false),(0,43,false),(0,40,false),(0,22,true),(1,35,true),(0,0,false),(2,7,false),(2,47,false),(2,11,false),(2,33,false),(1,7,true),(2,44,true),(0,9,false),(2,21,false),(1,47,true),(3,33,true),(2,39,false),(3,32,true),(0,31,false),(0,5,false),(2,37,false),(3,10,false),(2,34,false),(1,43,false),(0,0,false),(2,36,false),(0,27,false),(2,15,false),(1,42,false),(0,13,true),(1,33,false),
+    ];
+    let mut h = Harness::new(DiCo::new(ChipSpec::tiny()));
+    h.jitter = Some(SimRng::new(812));
+    for &(t, b, w) in script {
+        h.push_access(t, b, w);
+    }
+    h.run_checked(200_000);
+}

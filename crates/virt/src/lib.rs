@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # cmpsim-virt
+//!
+//! The server-consolidation substrate: static chip *areas*, virtual
+//! machines and their tile placements, and hypervisor memory management
+//! with page deduplication (KSM/ESX-style content sharing) and
+//! copy-on-write.
+//!
+//! The paper's proposal divides the chip into hard-wired areas
+//! ([`AreaMap`]); the OS/hypervisor *may* schedule each VM onto one area
+//! (the matched [`Placement`]) or may not (the "-alt" configuration of
+//! Figure 6), and deduplicated pages are the read-only data shared between
+//! VMs that DiCo-Providers/DiCo-Arin serve from in-area providers.
+
+pub mod area;
+pub mod mem;
+pub mod placement;
+
+pub use area::AreaMap;
+pub use mem::{MachineMemory, PageKind, Region, VmSpace, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+pub use placement::Placement;

@@ -1,0 +1,269 @@
+//! Hypervisor memory management: per-VM address spaces, page
+//! deduplication, and copy-on-write.
+//!
+//! Deduplicated pages are read-only pages with identical contents across
+//! VMs (binaries, shared libraries, zero pages); the hypervisor backs all
+//! of them with one physical page. A write triggers copy-on-write: the
+//! writing VM gets a fresh private copy and its mapping is updated. The
+//! coherence protocols never see virtual addresses — only the physical
+//! block addresses produced here.
+
+use std::collections::BTreeMap;
+
+/// Bytes per cache block.
+pub const BLOCK_BYTES: u64 = 64;
+/// Bytes per page (paper Table III).
+pub const PAGE_BYTES: u64 = 4096;
+/// Cache blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
+
+/// Classes of logical pages a workload can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Private to one core (stack/heap slices).
+    CorePrivate,
+    /// Shared read-write among the cores of one VM.
+    VmShared,
+    /// Deduplicated content shared (read-only) across VMs.
+    Dedup,
+}
+
+/// How a physical page is backed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// Normal page owned by one VM.
+    Private,
+    /// Deduplicated page, possibly mapped by several VMs, read-only.
+    Deduplicated,
+}
+
+/// Key identifying a logical page inside a VM's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogicalPage {
+    /// Owning VM.
+    pub vm: usize,
+    /// Page region class.
+    pub region: Region,
+    /// Index within the region's pool.
+    pub index: u64,
+}
+
+/// Machine-wide physical memory and per-VM page tables.
+#[derive(Debug, Clone)]
+pub struct MachineMemory {
+    next_ppn: u64,
+    /// Per-VM translations.
+    tables: Vec<BTreeMap<(Region, u64), u64>>,
+    /// Content-class -> shared physical page, for dedup pages. The content
+    /// class of dedup page `i` is simply `i`: VMs touching the same index
+    /// share the backing page (identical contents by construction).
+    dedup_index: BTreeMap<u64, u64>,
+    /// Kind of each allocated physical page.
+    kinds: BTreeMap<u64, PageKind>,
+    /// Logical pages mapped (incl. duplicates collapsed by dedup).
+    logical_pages: u64,
+    /// Copy-on-write faults taken.
+    pub cow_faults: u64,
+}
+
+impl MachineMemory {
+    /// Creates the memory system for `num_vms` virtual machines.
+    pub fn new(num_vms: usize) -> Self {
+        Self {
+            next_ppn: 0,
+            tables: vec![BTreeMap::new(); num_vms],
+            dedup_index: BTreeMap::new(),
+            kinds: BTreeMap::new(),
+            logical_pages: 0,
+            cow_faults: 0,
+        }
+    }
+
+    fn fresh_page(&mut self, kind: PageKind) -> u64 {
+        let ppn = self.next_ppn;
+        self.next_ppn += 1;
+        self.kinds.insert(ppn, kind);
+        ppn
+    }
+
+    /// Translates a logical page to its physical page, allocating on first
+    /// touch (demand paging). Dedup pages of the same index share one
+    /// backing page across all VMs.
+    pub fn translate_page(&mut self, lp: LogicalPage) -> u64 {
+        if let Some(&ppn) = self.tables[lp.vm].get(&(lp.region, lp.index)) {
+            return ppn;
+        }
+        self.logical_pages += 1;
+        let ppn = match lp.region {
+            Region::Dedup => {
+                if let Some(&shared) = self.dedup_index.get(&lp.index) {
+                    shared
+                } else {
+                    let p = self.fresh_page(PageKind::Deduplicated);
+                    self.dedup_index.insert(lp.index, p);
+                    p
+                }
+            }
+            Region::CorePrivate | Region::VmShared => self.fresh_page(PageKind::Private),
+        };
+        self.tables[lp.vm].insert((lp.region, lp.index), ppn);
+        ppn
+    }
+
+    /// Translates a (logical page, block offset) access to a physical
+    /// block address. A write to a deduplicated page triggers
+    /// copy-on-write: the VM is given a fresh private page and the new
+    /// block address is returned.
+    pub fn translate(&mut self, lp: LogicalPage, block_in_page: u64, is_write: bool) -> u64 {
+        debug_assert!(block_in_page < BLOCKS_PER_PAGE);
+        let mut ppn = self.translate_page(lp);
+        if is_write && self.kinds.get(&ppn) == Some(&PageKind::Deduplicated) {
+            // Copy-on-write: remap this VM's logical page to a private copy.
+            let fresh = self.fresh_page(PageKind::Private);
+            self.tables[lp.vm].insert((lp.region, lp.index), fresh);
+            self.cow_faults += 1;
+            ppn = fresh;
+        }
+        ppn * BLOCKS_PER_PAGE + block_in_page
+    }
+
+    /// Kind of the page backing physical block `block`.
+    pub fn kind_of_block(&self, block: u64) -> Option<PageKind> {
+        self.kinds.get(&(block / BLOCKS_PER_PAGE)).copied()
+    }
+
+    /// Physical pages actually allocated.
+    pub fn physical_pages(&self) -> u64 {
+        self.next_ppn
+    }
+
+    /// Logical pages mapped across all VMs.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Fraction of memory saved by deduplication
+    /// (`1 - physical/logical`), the paper's Table IV metric.
+    pub fn dedup_savings(&self) -> f64 {
+        if self.logical_pages == 0 {
+            0.0
+        } else {
+            1.0 - self.physical_pages() as f64 / self.logical_pages as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// Convenience per-VM view (thin wrapper used by workload generators).
+pub struct VmSpace {
+    /// VM identifier.
+    pub vm: usize,
+}
+
+impl VmSpace {
+    /// Builds the logical page key for this VM.
+    pub fn page(&self, region: Region, index: u64) -> LogicalPage {
+        LogicalPage { vm: self.vm, region, index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_pages_are_distinct() {
+        let mut m = MachineMemory::new(2);
+        let a = m.translate_page(LogicalPage { vm: 0, region: Region::CorePrivate, index: 0 });
+        let b = m.translate_page(LogicalPage { vm: 0, region: Region::CorePrivate, index: 1 });
+        let c = m.translate_page(LogicalPage { vm: 1, region: Region::CorePrivate, index: 0 });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut m = MachineMemory::new(1);
+        let lp = LogicalPage { vm: 0, region: Region::VmShared, index: 7 };
+        assert_eq!(m.translate_page(lp), m.translate_page(lp));
+        assert_eq!(m.logical_pages(), 1);
+    }
+
+    #[test]
+    fn dedup_pages_are_shared_across_vms() {
+        let mut m = MachineMemory::new(4);
+        let pages: Vec<u64> = (0..4)
+            .map(|vm| m.translate_page(LogicalPage { vm, region: Region::Dedup, index: 5 }))
+            .collect();
+        assert!(pages.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(m.physical_pages(), 1);
+        assert_eq!(m.logical_pages(), 4);
+        assert!((m.dedup_savings() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_addresses_embed_page_and_offset() {
+        let mut m = MachineMemory::new(1);
+        let lp = LogicalPage { vm: 0, region: Region::CorePrivate, index: 0 };
+        let b0 = m.translate(lp, 0, false);
+        let b5 = m.translate(lp, 5, false);
+        assert_eq!(b5 - b0, 5);
+        assert_eq!(b0 % BLOCKS_PER_PAGE, 0);
+    }
+
+    #[test]
+    fn cow_on_dedup_write() {
+        let mut m = MachineMemory::new(2);
+        let lp0 = LogicalPage { vm: 0, region: Region::Dedup, index: 1 };
+        let lp1 = LogicalPage { vm: 1, region: Region::Dedup, index: 1 };
+        let shared0 = m.translate(lp0, 0, false);
+        let shared1 = m.translate(lp1, 0, false);
+        assert_eq!(shared0, shared1);
+        // VM 0 writes: it must be remapped, VM 1 keeps the shared page.
+        let after_write = m.translate(lp0, 0, true);
+        assert_ne!(after_write, shared0);
+        assert_eq!(m.translate(lp1, 0, false), shared1);
+        assert_eq!(m.cow_faults, 1);
+        // And VM 0's later reads see its private copy.
+        assert_eq!(m.translate(lp0, 0, false), after_write);
+        assert_eq!(m.kind_of_block(after_write), Some(PageKind::Private));
+    }
+
+    #[test]
+    fn writes_to_private_pages_do_not_cow() {
+        let mut m = MachineMemory::new(1);
+        let lp = LogicalPage { vm: 0, region: Region::VmShared, index: 0 };
+        let a = m.translate(lp, 3, true);
+        let b = m.translate(lp, 3, true);
+        assert_eq!(a, b);
+        assert_eq!(m.cow_faults, 0);
+    }
+
+    #[test]
+    fn kind_of_block_reports_dedup() {
+        let mut m = MachineMemory::new(1);
+        let d = m.translate(LogicalPage { vm: 0, region: Region::Dedup, index: 0 }, 0, false);
+        let p =
+            m.translate(LogicalPage { vm: 0, region: Region::CorePrivate, index: 0 }, 0, false);
+        assert_eq!(m.kind_of_block(d), Some(PageKind::Deduplicated));
+        assert_eq!(m.kind_of_block(p), Some(PageKind::Private));
+        assert_eq!(m.kind_of_block(1 << 40), None);
+    }
+
+    #[test]
+    fn savings_match_table_iv_style_setup() {
+        // 4 VMs, each mapping 100 private + 30 dedup pages shared by all:
+        // logical = 4*130 = 520, physical = 4*100 + 30 = 430 -> 17.3%.
+        let mut m = MachineMemory::new(4);
+        for vm in 0..4 {
+            for i in 0..100 {
+                m.translate_page(LogicalPage { vm, region: Region::CorePrivate, index: i });
+            }
+            for i in 0..30 {
+                m.translate_page(LogicalPage { vm, region: Region::Dedup, index: i });
+            }
+        }
+        let expect = 1.0 - 430.0 / 520.0;
+        assert!((m.dedup_savings() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # cmpsim-workloads
+//!
+//! Synthetic consolidated workloads standing in for the paper's
+//! full-system benchmarks (Table IV). Each benchmark is modelled by a
+//! [`WorkloadProfile`] that fixes:
+//!
+//! * the page pools a core touches — core-private, VM-shared (read-write,
+//!   private to the VM) and deduplicated (read-only, shared across VMs) —
+//!   with pool sizes solved so the memory saved by deduplication matches
+//!   the paper's Table IV within rounding;
+//! * the access mix (region probabilities, write fractions, skew,
+//!   spatial locality) that determines whether the workload is
+//!   *L1-power-dominated* (radix, lu, volrend, tomcatv: working set fits
+//!   the 128 KiB L1) or *L2-power-dominated* (apache, and jbb with an
+//!   L2 miss rate above 40%), the two classes the paper's §V-C analysis
+//!   is built on.
+//!
+//! [`CoreStream`] turns a profile into a deterministic per-core reference
+//! stream of *logical* accesses; the simulator translates them through
+//! `cmpsim_virt::MachineMemory` (which is where deduplication and
+//! copy-on-write happen) into physical block addresses.
+
+pub mod calibrate;
+pub mod profile;
+pub mod stream;
+
+pub use calibrate::StreamStats;
+pub use profile::{Benchmark, Metric, WorkloadProfile};
+pub use stream::{CoreStream, LogicalRef};

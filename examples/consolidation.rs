@@ -1,0 +1,56 @@
+//! Server-consolidation study: the scenario from the paper's
+//! introduction. Four virtual machines share one 64-tile CMP with memory
+//! deduplication; we compare all four coherence protocols on a
+//! commercial (apache) and a scientific (radix) workload and report the
+//! performance/power trade-off each one offers.
+//!
+//! ```text
+//! cargo run --release --example consolidation [refs_per_core]
+//! ```
+
+use cmpsim::report::{pct_delta, table};
+use cmpsim::{run_matrix, Benchmark, ProtocolKind, SystemConfig};
+use cmpsim_power::leakage_per_tile;
+
+fn main() {
+    let refs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let cfg = SystemConfig::paper().with_refs(refs);
+    let protocols = ProtocolKind::all();
+    let benchmarks = [Benchmark::Apache, Benchmark::Radix];
+
+    println!("4 VMs x 16 cores, memory deduplication on, {refs} refs/core\n");
+    let results = run_matrix(&protocols, &benchmarks, &cfg);
+
+    for (bi, b) in benchmarks.iter().enumerate() {
+        let base = &results[bi * protocols.len()];
+        let rows: Vec<Vec<String>> = protocols
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                let r = &results[bi * protocols.len() + pi];
+                let leak = leakage_per_tile(*p, 64, 4);
+                vec![
+                    p.name().to_string(),
+                    pct_delta(r.performance(), base.performance()),
+                    pct_delta(r.total_dynamic_nj(), base.total_dynamic_nj()),
+                    format!("{:.0} mW", leak.total_mw),
+                    format!("{:.2}", r.avg_links_per_message()),
+                    r.proto_stats.broadcast_invs.get().to_string(),
+                ]
+            })
+            .collect();
+        println!("{}:", b.name());
+        println!(
+            "{}",
+            table(
+                &["protocol", "perf vs dir", "dyn energy vs dir", "leakage/tile", "links/msg", "bcasts"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "The paper's headline: the proposals cut directory storage 59-64%,\n\
+         static power 45-54% (tags), and dynamic power up to 38% (apache),\n\
+         with no performance degradation — compare the columns above."
+    );
+}

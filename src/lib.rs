@@ -1,0 +1,5 @@
+//! Workspace façade crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The library surface
+//! simply re-exports the simulator crate.
+
+pub use cmpsim;
