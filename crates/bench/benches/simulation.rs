@@ -13,7 +13,7 @@ fn bench_simulation(c: &mut Criterion) {
     g.sample_size(10);
     for kind in ProtocolKind::all() {
         g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| black_box(run_benchmark(kind, Benchmark::Apache, &cfg).cycles))
+            b.iter(|| black_box(run_benchmark(kind, Benchmark::Apache, &cfg).expect("run").cycles))
         });
     }
     g.finish();

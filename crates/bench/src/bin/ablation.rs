@@ -18,7 +18,8 @@ fn main() {
         let mut cfg = SystemConfig::paper().with_refs(refs);
         cfg.chip.enable_prediction = pred;
         cfg.chip.enable_hints = hints;
-        let r = run_benchmark(ProtocolKind::DiCoProviders, Benchmark::Apache, &cfg);
+        let r = run_benchmark(ProtocolKind::DiCoProviders, Benchmark::Apache, &cfg)
+            .expect("simulation failed");
         let predicted = r.miss_class_frac(MissClass::PredictedOwnerHit)
             + r.miss_class_frac(MissClass::PredictedProviderHit);
         rows.push(vec![

@@ -11,12 +11,13 @@ fn main() {
     let benchmarks = [Benchmark::Apache, Benchmark::Radix];
     let protocols = ProtocolKind::all();
 
-    let matched = run_matrix(&protocols, &benchmarks, &cfg);
+    let matched = run_matrix(&protocols, &benchmarks, &cfg).expect("simulation failed");
     let alt = run_matrix(
         &protocols,
         &benchmarks,
         &cfg.clone().with_placement(Placement::Alternative),
-    );
+    )
+    .expect("simulation failed");
 
     println!("== Alternative VM placement (paper Figure 6, '-alt' results) ==\n");
     let mut rows = Vec::new();

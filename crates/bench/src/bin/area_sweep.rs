@@ -21,7 +21,7 @@ fn main() {
                 ..SystemConfig::paper()
             }
             .with_refs(refs);
-            let r = run_benchmark(kind, Benchmark::Apache, &cfg);
+            let r = run_benchmark(kind, Benchmark::Apache, &cfg).expect("simulation failed");
             rows.push(vec![
                 kind.name().to_string(),
                 areas.to_string(),

@@ -24,7 +24,8 @@ fn main() {
             ..SystemConfig::paper()
         }
         .with_refs(refs);
-        let results = run_matrix(&protocols, &[Benchmark::Apache], &cfg);
+        let results =
+            run_matrix(&protocols, &[Benchmark::Apache], &cfg).expect("simulation failed");
         let base = &results[0];
         for (pi, p) in protocols.iter().enumerate() {
             let r = &results[pi];

@@ -14,7 +14,8 @@ fn main() {
     let mut cfg = SystemConfig::paper().with_refs(refs);
     cfg.num_vms = 1; // one application on all 64 cores; areas stay hard-wired
     println!("== Single application on all 64 cores (4 hard-wired areas) ==\n");
-    let results = run_matrix(&ProtocolKind::all(), &[Benchmark::Apache], &cfg);
+    let results =
+        run_matrix(&ProtocolKind::all(), &[Benchmark::Apache], &cfg).expect("simulation failed");
     let base = &results[0];
     let rows: Vec<Vec<String>> = results
         .iter()

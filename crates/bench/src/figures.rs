@@ -20,7 +20,7 @@ impl Sweep {
     pub fn run(cfg: &SystemConfig) -> Self {
         let benchmarks = Benchmark::all().to_vec();
         let protocols = ProtocolKind::all().to_vec();
-        let results = run_matrix(&protocols, &benchmarks, cfg);
+        let results = run_matrix(&protocols, &benchmarks, cfg).expect("simulation failed");
         Self { benchmarks, protocols, results }
     }
 

@@ -2,20 +2,31 @@
 //!
 //! ```text
 //! cmpsim-cli run  [--protocol P] [--benchmark B] [--refs N] [--alt] [--seed S]
+//!                 [--max-events N] [--check]
 //! cmpsim-cli matrix [--refs N] [--alt]          # all protocols x one benchmark set
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
+//! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
 //!
 //! Protocols: directory | dico | providers | arin.
 //! Benchmarks: apache | jbb | radix | lu | volrend | tomcatv |
 //! mixed-com | mixed-sci.
+//!
+//! A failing `run`/`matrix` writes a JSON replay artifact (path printed
+//! with the error); `replay` re-runs it deterministically and reports
+//! whether the original failure reproduced at the same cycle.
+//! `--check` force-enables the coherence invariant checker during the
+//! replay, often turning an end-state deadlock into the first broken
+//! invariant.
 
 use cmpsim::report::table;
 use cmpsim::{
-    run_benchmark, run_matrix, Benchmark, MissClass, Placement, ProtocolKind, SystemConfig,
+    run_benchmark, run_matrix, Benchmark, CmpSimulator, MissClass, Placement, ProtocolKind,
+    ReplayArtifact, SimError, SystemConfig,
 };
 use cmpsim_power::{leakage_per_tile, overhead_percent};
+use std::path::Path;
 
 fn parse_protocol(s: &str) -> Option<ProtocolKind> {
     match s.to_ascii_lowercase().as_str() {
@@ -47,6 +58,8 @@ struct Options {
     refs: u64,
     seed: u64,
     alt: bool,
+    max_events: Option<u64>,
+    check: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -56,6 +69,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         refs: 20_000,
         seed: 0xC0FFEE,
         alt: false,
+        max_events: None,
+        check: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -78,6 +93,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
             "--alt" => o.alt = true,
+            "--max-events" => {
+                let v = it.next().ok_or("--max-events needs a value")?;
+                o.max_events = Some(v.parse().map_err(|_| format!("bad event budget {v}"))?);
+            }
+            "--check" => o.check = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -89,11 +109,24 @@ fn config(o: &Options) -> SystemConfig {
     if o.alt {
         cfg = cfg.with_placement(Placement::Alternative);
     }
+    if let Some(n) = o.max_events {
+        cfg = cfg.with_event_budget(n);
+    }
+    if o.check {
+        cfg = cfg.with_invariant_checks();
+    }
     cfg
 }
 
+/// Prints a simulation failure and exits (the replay artifact path is
+/// part of the error's rendering).
+fn bail(e: SimError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
 fn cmd_run(o: &Options) {
-    let r = run_benchmark(o.protocol, o.benchmark, &config(o));
+    let r = run_benchmark(o.protocol, o.benchmark, &config(o)).unwrap_or_else(|e| bail(e));
     println!("{} on {}{}", r.protocol.name(), r.benchmark.name(), r.placement.suffix());
     println!("  cycles            {:>12}", r.cycles);
     println!("  throughput        {:>12.4} refs/cycle", r.throughput());
@@ -115,7 +148,8 @@ fn cmd_run(o: &Options) {
 
 fn cmd_matrix(o: &Options) {
     let cfg = config(o);
-    let results = run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg);
+    let results =
+        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
     let base = &results[0];
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -169,6 +203,57 @@ fn cmd_tables() {
     println!("{}", table(&["protocol", "total", "tags"], &rows));
 }
 
+fn cmd_replay(path: &str, check: bool) {
+    let art = ReplayArtifact::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "replaying {} on {} (seed {}): original failure {} at cycle {}",
+        art.protocol.name(),
+        art.benchmark.name(),
+        art.config.seed,
+        art.error_kind,
+        art.failing_cycle
+    );
+    let mut sim = CmpSimulator::new(art.protocol, art.benchmark, &art.config);
+    if check {
+        sim.enable_invariant_checker();
+        println!("invariant checker force-enabled for this replay");
+    }
+    match sim.run() {
+        Ok(r) => {
+            println!(
+                "run completed cleanly ({} refs in {} cycles) — the failure did NOT reproduce",
+                r.measured_refs, r.cycles
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            println!("{e}");
+            if e.kind_label() == art.error_kind && e.failing_cycle() == art.failing_cycle {
+                println!("reproduced: {} at cycle {}", e.kind_label(), e.failing_cycle());
+            } else if check && matches!(e, SimError::InvariantViolation(_)) {
+                println!(
+                    "invariant checker caught the root cause at cycle {} (original failure: {} at cycle {})",
+                    e.failing_cycle(),
+                    art.error_kind,
+                    art.failing_cycle
+                );
+            } else {
+                println!(
+                    "failure differs: got {} at cycle {}, expected {} at cycle {}",
+                    e.kind_label(),
+                    e.failing_cycle(),
+                    art.error_kind,
+                    art.failing_cycle
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_list() {
     println!("protocols:  directory | dico | providers | arin");
     println!("benchmarks: apache | jbb | radix | lu | volrend | tomcatv | mixed-com | mixed-sci");
@@ -179,13 +264,36 @@ fn main() {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: cmpsim-cli <run|matrix|tables|list> [options]");
+            eprintln!("usage: cmpsim-cli <run|matrix|tables|replay|list> [options]");
             std::process::exit(2);
         }
     };
     match cmd {
         "tables" => cmd_tables(),
         "list" => cmd_list(),
+        "replay" => {
+            let mut file = None;
+            let mut check = false;
+            for a in rest {
+                match a.as_str() {
+                    "--check" => check = true,
+                    other if file.is_none() && !other.starts_with('-') => {
+                        file = Some(other.to_string())
+                    }
+                    other => {
+                        eprintln!("unknown replay option {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            match file {
+                Some(f) => cmd_replay(&f, check),
+                None => {
+                    eprintln!("usage: cmpsim-cli replay <artifact.json> [--check]");
+                    std::process::exit(2);
+                }
+            }
+        }
         "run" | "matrix" => match parse_options(rest) {
             Ok(o) => {
                 if cmd == "run" {
@@ -200,7 +308,7 @@ fn main() {
             }
         },
         other => {
-            eprintln!("unknown command {other}; try run, matrix, tables, list");
+            eprintln!("unknown command {other}; try run, matrix, tables, replay, list");
             std::process::exit(2);
         }
     }

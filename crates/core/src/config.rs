@@ -29,6 +29,19 @@ pub struct SystemConfig {
     pub warmup_frac: f64,
     /// RNG seed (workloads + jitter).
     pub seed: u64,
+    /// Watchdog: hard cap on processed events before the run aborts with
+    /// `SimError::Stalled`. `None` derives a generous bound from the
+    /// reference budget (`refs_per_core * tiles * 600 + 5_000_000`).
+    pub max_events: Option<u64>,
+    /// Watchdog: abort with `SimError::Stalled` when no core retires a
+    /// reference for this many consecutive cycles. Must exceed the worst
+    /// legitimate gap (contended misses queue behind 300-cycle DRAM
+    /// accesses); the default of one million cycles is far above it.
+    pub stall_window: u64,
+    /// Run the per-message coherence invariant checker (SWMR, forwarding
+    /// bound, owner-pointer consistency at quiescence). Roughly an order
+    /// of magnitude slower — a debugging tool, not a default.
+    pub check_invariants: bool,
 }
 
 impl SystemConfig {
@@ -47,6 +60,9 @@ impl SystemConfig {
             refs_per_core: 120_000,
             warmup_frac: 0.3,
             seed: 0xC0FFEE,
+            max_events: None,
+            stall_window: 1_000_000,
+            check_invariants: false,
         }
     }
 
@@ -64,6 +80,9 @@ impl SystemConfig {
             refs_per_core: 400,
             warmup_frac: 0.2,
             seed: 7,
+            max_events: None,
+            stall_window: 1_000_000,
+            check_invariants: false,
         }
     }
 
@@ -88,6 +107,32 @@ impl SystemConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Returns a copy with a hard event budget (watchdog knob).
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Returns a copy with a different no-progress window (watchdog
+    /// knob).
+    pub fn with_stall_window(mut self, cycles: u64) -> Self {
+        self.stall_window = cycles;
+        self
+    }
+
+    /// Returns a copy with the per-message invariant checker enabled.
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
+
+    /// The effective event budget (explicit, or derived from the
+    /// reference budget).
+    pub fn event_budget(&self) -> u64 {
+        self.max_events
+            .unwrap_or(self.refs_per_core * self.tiles() as u64 * 600 + 5_000_000)
     }
 
     /// Tiles in the configuration.
@@ -144,7 +189,7 @@ mod tests {
     #[test]
     fn ctrl_mapping_covers_all() {
         let c = SystemConfig::paper();
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for b in 0..64u64 {
             seen[c.mem_ctrl_of(b)] = true;
         }

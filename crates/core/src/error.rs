@@ -1,0 +1,297 @@
+//! Typed simulation failures with structured diagnostic dumps.
+//!
+//! The event loop's watchdog produces [`SimError::Stalled`] when the
+//! chip stops making forward progress, the optional invariant checker
+//! produces [`SimError::InvariantViolation`] when a coherence invariant
+//! breaks mid-run, and [`SimError::Protocol`] wraps a controller
+//! state-machine fault surfaced by the protocol itself. All three carry
+//! enough state to diagnose the failure offline, and
+//! [`run_benchmark`](crate::run_benchmark) additionally serializes the
+//! failing run into a replay artifact (see [`crate::replay`]).
+
+use cmpsim_engine::Cycle;
+use cmpsim_protocols::common::{Msg, ProtoError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why the watchdog declared the simulation stalled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallReason {
+    /// The hard event budget was exhausted (classic deadlock signature:
+    /// events keep circulating without retiring references).
+    EventBudget {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// No core retired a reference for a full stall window.
+    NoProgress {
+        /// The window, in cycles.
+        window: Cycle,
+        /// Cycle of the last retired reference.
+        last_progress: Cycle,
+    },
+    /// The event queue drained but cores or protocol state were left
+    /// hanging (lost message / lost wakeup).
+    IncompleteDrain,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallReason::EventBudget { budget } => {
+                write!(f, "event budget exhausted ({budget} events)")
+            }
+            StallReason::NoProgress { window, last_progress } => write!(
+                f,
+                "no reference retired for {window} cycles (last progress at cycle {last_progress})"
+            ),
+            StallReason::IncompleteDrain => {
+                write!(f, "event queue drained with unfinished cores or protocol state")
+            }
+        }
+    }
+}
+
+/// One core's state at the moment of a stall.
+#[derive(Debug, Clone)]
+pub struct CoreStallState {
+    /// Tile index.
+    pub tile: usize,
+    /// VM the core belongs to.
+    pub vm: usize,
+    /// References retired so far.
+    pub refs_done: u64,
+    /// Reference target (`refs_per_core`).
+    pub refs_target: u64,
+    /// A miss is outstanding in the memory system.
+    pub outstanding: bool,
+    /// A translated reference is waiting to issue: `(block, is_write)`.
+    pub pending: Option<(u64, bool)>,
+}
+
+/// One queued/in-flight message at the moment of a stall.
+#[derive(Debug, Clone)]
+pub struct InFlightMsg {
+    /// Cycle the message would have been delivered at.
+    pub due: Cycle,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// A block with in-flight traffic, plus each controller's view of it.
+#[derive(Debug, Clone)]
+pub struct HotBlock {
+    /// Block address.
+    pub block: u64,
+    /// In-flight messages concerning it.
+    pub queued: usize,
+    /// Human-readable per-controller views (from the protocol snapshot).
+    pub views: Vec<String>,
+}
+
+/// Structured dump attached to [`SimError::Stalled`].
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// What tripped the watchdog.
+    pub reason: StallReason,
+    /// Cycle the stall was declared at.
+    pub cycle: Cycle,
+    /// Events processed up to that point.
+    pub events: u64,
+    /// Cores that had not finished their reference budget.
+    pub stalled_cores: Vec<CoreStallState>,
+    /// Everything still in the event queue, ordered by due cycle.
+    pub in_flight: Vec<InFlightMsg>,
+    /// The protocol's own dump of in-flight transactions.
+    pub pending_summary: String,
+    /// Blocks with the most in-flight traffic, with each controller's
+    /// view of them.
+    pub hot_blocks: Vec<HotBlock>,
+    /// Replay artifact written for this failure, if any.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Structured dump attached to [`SimError::InvariantViolation`].
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Cycle the violation was detected at.
+    pub cycle: Cycle,
+    /// Events processed up to that point.
+    pub events: u64,
+    /// The message whose handling exposed the violation.
+    pub trigger: String,
+    /// Block the violation concerns.
+    pub block: u64,
+    /// Every violated invariant.
+    pub violations: Vec<String>,
+    /// The checker's recent history window for the offending block.
+    pub history: Vec<String>,
+    /// Replay artifact written for this failure, if any.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Structured dump attached to [`SimError::Protocol`].
+#[derive(Debug, Clone)]
+pub struct ProtocolFault {
+    /// Cycle the fault happened at.
+    pub cycle: Cycle,
+    /// Events processed up to that point.
+    pub events: u64,
+    /// The protocol's own description of the fault.
+    pub error: ProtoError,
+    /// The protocol's dump of in-flight transactions.
+    pub pending_summary: String,
+    /// Replay artifact written for this failure, if any.
+    pub artifact: Option<PathBuf>,
+}
+
+/// A failed simulation run.
+///
+/// The reports are boxed so a `Result<RunResult, SimError>` stays small
+/// on the happy path — the dumps are only materialized on failure.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The watchdog declared the run stuck.
+    Stalled(Box<StallReport>),
+    /// The invariant checker caught a coherence violation.
+    InvariantViolation(Box<InvariantReport>),
+    /// A protocol controller hit a state-machine inconsistency.
+    Protocol(Box<ProtocolFault>),
+}
+
+impl SimError {
+    /// Cycle the failure was detected at.
+    pub fn failing_cycle(&self) -> Cycle {
+        match self {
+            SimError::Stalled(r) => r.cycle,
+            SimError::InvariantViolation(r) => r.cycle,
+            SimError::Protocol(r) => r.cycle,
+        }
+    }
+
+    /// Events processed before the failure.
+    pub fn events(&self) -> u64 {
+        match self {
+            SimError::Stalled(r) => r.events,
+            SimError::InvariantViolation(r) => r.events,
+            SimError::Protocol(r) => r.events,
+        }
+    }
+
+    /// Stable label used in replay artifacts.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SimError::Stalled(_) => "stalled",
+            SimError::InvariantViolation(_) => "invariant-violation",
+            SimError::Protocol(_) => "protocol-fault",
+        }
+    }
+
+    /// Replay artifact written for this failure, if any.
+    pub fn artifact(&self) -> Option<&Path> {
+        match self {
+            SimError::Stalled(r) => r.artifact.as_deref(),
+            SimError::InvariantViolation(r) => r.artifact.as_deref(),
+            SimError::Protocol(r) => r.artifact.as_deref(),
+        }
+    }
+
+    /// Records where the replay artifact was written.
+    pub fn set_artifact(&mut self, path: PathBuf) {
+        match self {
+            SimError::Stalled(r) => r.artifact = Some(path),
+            SimError::InvariantViolation(r) => r.artifact = Some(path),
+            SimError::Protocol(r) => r.artifact = Some(path),
+        }
+    }
+}
+
+/// How many in-flight messages / stalled cores / history lines the
+/// Display rendering shows before eliding (the structs keep everything).
+const DISPLAY_CAP: usize = 32;
+
+fn elided(total: usize) -> String {
+    if total > DISPLAY_CAP {
+        format!("  … {} more elided\n", total - DISPLAY_CAP)
+    } else {
+        String::new()
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled(r) => {
+                writeln!(
+                    f,
+                    "simulation stalled at cycle {} after {} events: {}",
+                    r.cycle, r.events, r.reason
+                )?;
+                writeln!(f, "stalled cores ({}):", r.stalled_cores.len())?;
+                for c in r.stalled_cores.iter().take(DISPLAY_CAP) {
+                    writeln!(
+                        f,
+                        "  tile {} (vm {}): {}/{} refs, outstanding={}, pending={:?}",
+                        c.tile, c.vm, c.refs_done, c.refs_target, c.outstanding, c.pending
+                    )?;
+                }
+                write!(f, "{}", elided(r.stalled_cores.len()))?;
+                writeln!(f, "in-flight messages ({}):", r.in_flight.len())?;
+                for m in r.in_flight.iter().take(DISPLAY_CAP) {
+                    writeln!(f, "  due {}: {:?}", m.due, m.msg)?;
+                }
+                write!(f, "{}", elided(r.in_flight.len()))?;
+                if !r.hot_blocks.is_empty() {
+                    writeln!(f, "hot blocks:")?;
+                    for hb in &r.hot_blocks {
+                        writeln!(f, "  block {:#x}: {} in-flight messages", hb.block, hb.queued)?;
+                        for v in &hb.views {
+                            writeln!(f, "    {v}")?;
+                        }
+                    }
+                }
+                if !r.pending_summary.is_empty() {
+                    writeln!(f, "protocol pending state:\n{}", r.pending_summary.trim_end())?;
+                }
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
+            SimError::InvariantViolation(r) => {
+                writeln!(
+                    f,
+                    "coherence invariant violated at cycle {} after {} events (block {:#x})",
+                    r.cycle, r.events, r.block
+                )?;
+                writeln!(f, "trigger: {}", r.trigger)?;
+                for v in &r.violations {
+                    writeln!(f, "  {v}")?;
+                }
+                if !r.history.is_empty() {
+                    writeln!(f, "recent history of block {:#x}:", r.block)?;
+                    let skip = r.history.len().saturating_sub(DISPLAY_CAP);
+                    for h in r.history.iter().skip(skip) {
+                        writeln!(f, "  {h}")?;
+                    }
+                }
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
+            SimError::Protocol(r) => {
+                writeln!(f, "at cycle {} after {} events: {}", r.cycle, r.events, r.error)?;
+                if !r.pending_summary.is_empty() {
+                    writeln!(f, "protocol pending state:\n{}", r.pending_summary.trim_end())?;
+                }
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -25,7 +25,8 @@
 //! use cmpsim_workloads::Benchmark;
 //!
 //! let cfg = SystemConfig::smoke(); // tiny run for doc tests
-//! let result = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg);
+//! let result = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg)
+//!     .expect("simulation completed");
 //! assert!(result.measured_refs > 0);
 //! println!(
 //!     "{}: {:.4} refs/cycle, {:.2} uJ",
@@ -34,13 +35,22 @@
 //!     result.total_dynamic_uj()
 //! );
 //! ```
+//!
+//! Runs that stop making forward progress (deadlock, livelock, lost
+//! message) return a typed [`SimError`] with a structured dump and a
+//! JSON replay artifact instead of spinning forever — see [`error`]
+//! and [`replay`].
 
 pub mod config;
+pub mod error;
+pub mod replay;
 pub mod report;
 pub mod result;
 pub mod sim;
 
 pub use config::SystemConfig;
+pub use error::{SimError, StallReason};
+pub use replay::ReplayArtifact;
 pub use result::RunResult;
 pub use sim::{build_protocol, run_benchmark, run_matrix, CmpSimulator};
 

@@ -2,13 +2,19 @@
 //! coherence protocol, driven by a deterministic event loop.
 
 use crate::config::SystemConfig;
+use crate::error::{
+    CoreStallState, HotBlock, InFlightMsg, InvariantReport, ProtocolFault, SimError, StallReason,
+    StallReport,
+};
+use crate::replay::ReplayArtifact;
 use crate::result::RunResult;
 use cmpsim_engine::par::par_map;
 use cmpsim_engine::{Cycle, EventQueue, SimRng};
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
+use cmpsim_protocols::checker::StepChecker;
 use cmpsim_protocols::common::{
-    AccessOutcome, Block, ChipSpec, CoherenceProtocol, Ctx, Msg, MsgKind, Node, Tile,
+    AccessOutcome, Block, ChipSpec, CoherenceProtocol, Ctx, Msg, MsgKind, Node, ProtoError, Tile,
 };
 use cmpsim_protocols::dico::DiCo;
 use cmpsim_protocols::directory::Directory;
@@ -68,6 +74,10 @@ pub struct CmpSimulator {
     measure_start: Cycle,
     refs_at_reset: u64,
     events: u64,
+    /// Cycle of the last retired reference (watchdog no-progress clock).
+    last_progress: Cycle,
+    /// Per-message invariant checker (from `cfg.check_invariants`).
+    checker: Option<StepChecker>,
 }
 
 impl CmpSimulator {
@@ -116,7 +126,17 @@ impl CmpSimulator {
             measure_start: 0,
             refs_at_reset: 0,
             events: 0,
+            last_progress: 0,
+            checker: cfg.check_invariants.then(StepChecker::new),
             cfg: cfg.clone(),
+        }
+    }
+
+    /// Turns on the per-message invariant checker regardless of the
+    /// configuration flag (used by `cmpsim-cli replay --check`).
+    pub fn enable_invariant_checker(&mut self) {
+        if self.checker.is_none() {
+            self.checker = Some(StepChecker::new());
         }
     }
 
@@ -199,19 +219,20 @@ impl CmpSimulator {
             debug_assert!(core.outstanding, "completion without outstanding access");
             core.outstanding = false;
             core.refs_done += 1;
+            self.last_progress = now;
             self.queue.push(now + c.delay + 1, Ev::CoreResume(c.tile));
         }
     }
 
-    fn core_resume(&mut self, now: Cycle, tile: Tile) {
+    fn core_resume(&mut self, now: Cycle, tile: Tile) -> Result<(), SimError> {
         if self.cores[tile].outstanding {
-            return;
+            return Ok(());
         }
         if self.cores[tile].refs_done >= self.cfg.refs_per_core {
             if self.cores[tile].finished_at.is_none() {
                 self.cores[tile].finished_at = Some(now);
             }
-            return;
+            return Ok(());
         }
         // Generate (and translate) the next reference if none is pending.
         if self.cores[tile].pending.is_none() {
@@ -223,15 +244,23 @@ impl CmpSimulator {
             if r.gap > 0 {
                 // Non-memory work before the access issues.
                 self.queue.push(now + r.gap, Ev::CoreResume(tile));
-                return;
+                return Ok(());
             }
         }
         let (block, write) = self.cores[tile].pending.expect("pending set above");
+        if let Some(chk) = &mut self.checker {
+            chk.record_access(now, tile, block, write);
+        }
         let mut ctx = Ctx::at(now);
-        match self.proto.core_access(&mut ctx, tile, block, write) {
+        let outcome = match self.proto.core_access(&mut ctx, tile, block, write) {
+            Ok(o) => o,
+            Err(e) => return Err(self.protocol_fault(now, e)),
+        };
+        match outcome {
             AccessOutcome::Hit { latency } => {
                 self.cores[tile].pending = None;
                 self.cores[tile].refs_done += 1;
+                self.last_progress = now;
                 self.apply_ctx(now, ctx);
                 self.queue.push(now + latency, Ev::CoreResume(tile));
             }
@@ -245,6 +274,109 @@ impl CmpSimulator {
                 self.queue.push(now + 7, Ev::CoreResume(tile));
             }
         }
+        Ok(())
+    }
+
+    /// Builds the structured dump for a watchdog abort.
+    fn stall_error(&self, now: Cycle, reason: StallReason) -> SimError {
+        let mut in_flight: Vec<InFlightMsg> = self
+            .queue
+            .iter()
+            .filter_map(|(due, ev)| match ev {
+                Ev::Deliver(msg) => Some(InFlightMsg { due, msg: *msg }),
+                Ev::CoreResume(_) => None,
+            })
+            .collect();
+        in_flight.sort_by_key(|m| (m.due, m.msg.block));
+        let stalled_cores: Vec<CoreStallState> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.refs_done < self.cfg.refs_per_core)
+            .map(|(tile, c)| CoreStallState {
+                tile,
+                vm: c.vm,
+                refs_done: c.refs_done,
+                refs_target: self.cfg.refs_per_core,
+                outstanding: c.outstanding,
+                pending: c.pending,
+            })
+            .collect();
+        // The blocks with the most in-flight traffic, with every
+        // controller's view of them — the usual deadlock suspects.
+        let mut traffic: BTreeMap<Block, usize> = BTreeMap::new();
+        for m in &in_flight {
+            *traffic.entry(m.msg.block).or_default() += 1;
+        }
+        let mut ranked: Vec<(Block, usize)> = traffic.into_iter().collect();
+        ranked.sort_by_key(|&(block, n)| (std::cmp::Reverse(n), block));
+        let snap = self.proto.snapshot();
+        let hot_blocks = ranked
+            .into_iter()
+            .take(4)
+            .map(|(block, queued)| {
+                let mut views = Vec::new();
+                for (t, l1) in snap.l1.iter().enumerate() {
+                    if let Some(c) = l1.get(&block) {
+                        views.push(format!("L1 tile {t}: {:?} (version {})", c.state, c.version));
+                    }
+                }
+                if let Some(v) = snap.l2.get(&block) {
+                    views.push(format!(
+                        "home L2: has_data={}, dirty={}, owner_in_l1={:?}, version={}",
+                        v.has_data, v.dirty, v.owner_in_l1, v.version
+                    ));
+                }
+                HotBlock { block, queued, views }
+            })
+            .collect();
+        SimError::Stalled(Box::new(StallReport {
+            reason,
+            cycle: now,
+            events: self.events,
+            stalled_cores,
+            in_flight,
+            pending_summary: self.proto.pending_summary(),
+            hot_blocks,
+            artifact: None,
+        }))
+    }
+
+    fn protocol_fault(&self, now: Cycle, error: ProtoError) -> SimError {
+        SimError::Protocol(Box::new(ProtocolFault {
+            cycle: now,
+            events: self.events,
+            error,
+            pending_summary: self.proto.pending_summary(),
+            artifact: None,
+        }))
+    }
+
+    /// Runs the per-message invariant checks after `msg` was handled.
+    fn check_invariants(&mut self, now: Cycle, msg: &Msg) -> Result<(), SimError> {
+        if let Some(chk) = &mut self.checker {
+            chk.record_message(now, msg);
+        } else {
+            return Ok(());
+        }
+        let snap = self.proto.snapshot();
+        // True quiescence needs an empty event queue too: fire-and-forget
+        // traffic (hints, acks, writebacks) is not tracked by the
+        // protocol's pending state.
+        let quiescent = self.queue.is_empty() && self.proto.quiescent();
+        let chk = self.checker.as_ref().expect("checked above");
+        if let Err(violations) = chk.check_step(msg, &snap, quiescent) {
+            return Err(SimError::InvariantViolation(Box::new(InvariantReport {
+                cycle: now,
+                events: self.events,
+                trigger: format!("{:?} -> {:?}: {:?}", msg.src, msg.dst, msg.kind),
+                block: msg.block,
+                violations,
+                history: chk.history_for(msg.block),
+                artifact: None,
+            })));
+        }
+        Ok(())
     }
 
     fn maybe_finish_warmup(&mut self, now: Cycle) {
@@ -264,21 +396,35 @@ impl CmpSimulator {
     }
 
     /// Runs to completion and returns the measured results.
-    pub fn run(mut self) -> RunResult {
+    ///
+    /// The event loop is watched for forward progress: exceeding the
+    /// [`SystemConfig::event_budget`], going a full `stall_window`
+    /// without any core retiring a reference, or draining the queue
+    /// with unfinished cores all abort into [`SimError::Stalled`] with
+    /// a structured dump instead of spinning or panicking.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
         let tiles = self.cores.len();
         for t in 0..tiles {
             self.queue.push(0, Ev::CoreResume(t));
         }
-        let budget = self.cfg.refs_per_core * tiles as u64 * 600 + 5_000_000;
+        let budget = self.cfg.event_budget();
+        let stall_window = self.cfg.stall_window;
         while let Some((now, ev)) = self.queue.pop() {
             self.events += 1;
-            assert!(
-                self.events <= budget,
-                "simulation exceeded its event budget (deadlock?)\n{}",
-                self.proto.pending_summary()
-            );
+            if self.events > budget {
+                return Err(self.stall_error(now, StallReason::EventBudget { budget }));
+            }
+            if now.saturating_sub(self.last_progress) > stall_window {
+                return Err(self.stall_error(
+                    now,
+                    StallReason::NoProgress {
+                        window: stall_window,
+                        last_progress: self.last_progress,
+                    },
+                ));
+            }
             match ev {
-                Ev::CoreResume(tile) => self.core_resume(now, tile),
+                Ev::CoreResume(tile) => self.core_resume(now, tile)?,
                 Ev::Deliver(msg) => {
                     if let Some(b) = std::env::var("CMPSIM_TRACE_BLOCK")
                         .ok()
@@ -289,26 +435,22 @@ impl CmpSimulator {
                         }
                     }
                     let mut ctx = Ctx::at(now);
-                    self.proto.handle(&mut ctx, msg);
+                    if let Err(e) = self.proto.handle(&mut ctx, msg) {
+                        return Err(self.protocol_fault(now, e));
+                    }
                     self.apply_ctx(now, ctx);
+                    self.check_invariants(now, &msg)?;
                 }
             }
             self.maybe_finish_warmup(now);
         }
-        for (t, c) in self.cores.iter().enumerate() {
-            assert!(
-                c.refs_done >= self.cfg.refs_per_core,
-                "core {t} stalled at {}/{} refs\n{}",
-                c.refs_done,
-                self.cfg.refs_per_core,
-                self.proto.pending_summary()
-            );
+        // The queue drained; anything left unfinished means a message or
+        // wakeup was lost (no event remains that could ever revive it).
+        let now = self.queue.now();
+        let unfinished = self.cores.iter().any(|c| c.refs_done < self.cfg.refs_per_core);
+        if unfinished || !self.proto.quiescent() {
+            return Err(self.stall_error(now, StallReason::IncompleteDrain));
         }
-        assert!(
-            self.proto.quiescent(),
-            "protocol not quiescent after drain\n{}",
-            self.proto.pending_summary()
-        );
 
         let last_finish =
             self.cores.iter().map(|c| c.finished_at.unwrap_or(0)).max().unwrap_or(0);
@@ -324,7 +466,7 @@ impl CmpSimulator {
         }
         let vm_finish: Vec<f64> =
             vm_sum.iter().zip(&vm_n).map(|(s, &n)| s / n.max(1) as f64).collect();
-        RunResult::collect(
+        Ok(RunResult::collect(
             self.proto.kind(),
             self.benchmark,
             self.cfg.placement,
@@ -337,28 +479,50 @@ impl CmpSimulator {
             self.proto.stats(),
             self.mesh.stats(),
             self.memory.dedup_savings(),
-        )
+        ))
     }
 }
 
-/// Runs one protocol on one benchmark.
-pub fn run_benchmark(kind: ProtocolKind, benchmark: Benchmark, cfg: &SystemConfig) -> RunResult {
-    CmpSimulator::new(kind, benchmark, cfg).run()
+/// Runs one protocol on one benchmark. On failure, a replay artifact
+/// (protocol + benchmark + seed + full config, see [`ReplayArtifact`])
+/// is written to [`ReplayArtifact::dump_dir`] and its path attached to
+/// the returned [`SimError`], so `cmpsim-cli replay <file>` can re-run
+/// the failure deterministically.
+pub fn run_benchmark(
+    kind: ProtocolKind,
+    benchmark: Benchmark,
+    cfg: &SystemConfig,
+) -> Result<RunResult, SimError> {
+    CmpSimulator::new(kind, benchmark, cfg).run().map_err(|mut e| {
+        let artifact = ReplayArtifact::new(
+            kind,
+            benchmark,
+            e.kind_label(),
+            e.failing_cycle(),
+            e.events(),
+            cfg,
+        );
+        if let Ok(path) = artifact.save(None) {
+            e.set_artifact(path);
+        }
+        e
+    })
 }
 
 /// Runs every (protocol, benchmark) pair of the given lists in parallel
 /// across host cores, returning results in row-major order
-/// (`benchmarks x protocols`).
+/// (`benchmarks x protocols`). The first failing cell's error is
+/// returned (its replay artifact is still written).
 pub fn run_matrix(
     protocols: &[ProtocolKind],
     benchmarks: &[Benchmark],
     cfg: &SystemConfig,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, SimError> {
     let jobs: Vec<(ProtocolKind, Benchmark)> = benchmarks
         .iter()
         .flat_map(|&b| protocols.iter().map(move |&p| (p, b)))
         .collect();
-    par_map(&jobs, |&(p, b)| run_benchmark(p, b, cfg))
+    par_map(&jobs, |&(p, b)| run_benchmark(p, b, cfg)).into_iter().collect()
 }
 
 #[cfg(test)]
@@ -369,7 +533,7 @@ mod tests {
     fn smoke_all_protocols_complete() {
         let cfg = SystemConfig::smoke();
         for kind in ProtocolKind::all() {
-            let r = run_benchmark(kind, Benchmark::Radix, &cfg);
+            let r = run_benchmark(kind, Benchmark::Radix, &cfg).expect("run");
             assert!(r.measured_refs > 0, "{kind:?}");
             assert!(r.cycles > 0);
             assert!(r.proto_stats.l1_hits.get() > 0, "{kind:?} should have hits");
@@ -379,8 +543,8 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let cfg = SystemConfig::smoke();
-        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
-        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
+        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg).expect("run");
+        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg).expect("run");
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.measured_refs, b.measured_refs);
         assert_eq!(a.noc_stats.messages.get(), b.noc_stats.messages.get());
@@ -389,22 +553,23 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = SystemConfig::smoke();
-        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg);
-        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg.clone().with_seed(99));
+        let a = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg).expect("run");
+        let b = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg.clone().with_seed(99))
+            .expect("run");
         assert_ne!(a.cycles, b.cycles);
     }
 
     #[test]
     fn alt_placement_runs() {
         let cfg = SystemConfig::smoke().with_placement(cmpsim_virt::Placement::Alternative);
-        let r = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg);
+        let r = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg).expect("run");
         assert!(r.measured_refs > 0);
     }
 
     #[test]
     fn dedup_savings_reported() {
         let cfg = SystemConfig::small();
-        let r = run_benchmark(ProtocolKind::Directory, Benchmark::Apache, &cfg);
+        let r = run_benchmark(ProtocolKind::Directory, Benchmark::Apache, &cfg).expect("run");
         // Apache's pools are sized for ~21.7% savings once fully touched;
         // a short run underestimates but must be clearly nonzero.
         assert!(r.dedup_savings > 0.02, "savings {}", r.dedup_savings);
@@ -417,10 +582,64 @@ mod tests {
             &[ProtocolKind::Directory, ProtocolKind::DiCoArin],
             &[Benchmark::Radix, Benchmark::Apache],
             &cfg,
-        );
+        )
+        .expect("matrix");
         assert_eq!(rs.len(), 4);
         assert_eq!(rs[0].protocol, ProtocolKind::Directory);
         assert_eq!(rs[0].benchmark.name(), "radix4x16p");
         assert_eq!(rs[3].protocol, ProtocolKind::DiCoArin);
+    }
+
+    #[test]
+    fn event_budget_trips_watchdog() {
+        let cfg = SystemConfig::smoke().with_event_budget(100);
+        let err = CmpSimulator::new(ProtocolKind::DiCo, Benchmark::Radix, &cfg)
+            .run()
+            .expect_err("a 100-event budget cannot finish a smoke run");
+        match err {
+            SimError::Stalled(r) => {
+                assert_eq!(r.reason, StallReason::EventBudget { budget: 100 });
+                assert_eq!(r.events, 101);
+                assert!(!r.stalled_cores.is_empty(), "no core can have finished");
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stall_window_trips_watchdog() {
+        // Every L1 miss takes >= mem_latency cycles, so a tiny window
+        // declares NoProgress on the first one.
+        let cfg = SystemConfig::smoke().with_stall_window(3);
+        let err = CmpSimulator::new(ProtocolKind::Directory, Benchmark::Radix, &cfg)
+            .run()
+            .expect_err("a 3-cycle window cannot survive a memory access");
+        match err {
+            SimError::Stalled(r) => {
+                assert!(matches!(r.reason, StallReason::NoProgress { window: 3, .. }));
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invariant_checker_passes_clean_runs() {
+        let cfg = SystemConfig::smoke().with_invariant_checks();
+        for kind in ProtocolKind::all() {
+            let r = run_benchmark(kind, Benchmark::Radix, &cfg)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(r.measured_refs > 0);
+        }
+    }
+
+    #[test]
+    fn checker_does_not_change_timing() {
+        let cfg = SystemConfig::smoke();
+        let plain = run_benchmark(ProtocolKind::DiCo, Benchmark::Radix, &cfg).expect("run");
+        let checked =
+            run_benchmark(ProtocolKind::DiCo, Benchmark::Radix, &cfg.clone().with_invariant_checks())
+                .expect("checked run");
+        assert_eq!(plain.cycles, checked.cycles);
+        assert_eq!(plain.measured_refs, checked.measured_refs);
     }
 }

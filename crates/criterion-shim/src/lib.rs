@@ -1,0 +1,184 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build container has no crates.io access, so `cargo bench` links
+//! against this shim. It implements the API subset the workspace's
+//! benches use — `Criterion::bench_function`, `benchmark_group` /
+//! `bench_with_input` / `sample_size` / `finish`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a plain
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery. Reported numbers are mean/min nanoseconds per iteration;
+//! there is no outlier analysis, plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` timed samples after one
+    /// warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let ns: Vec<u128> = samples.iter().map(|d| d.as_nanos()).collect();
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let min = *ns.iter().min().expect("non-empty");
+    println!("{id:<40} mean {mean:>12} ns/iter   min {min:>12} ns/iter   ({} samples)", ns.len());
+}
+
+/// Benchmark registry and runner (simplified).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _c: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.samples);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counts", |b| b.iter(|| runs += 1));
+        // One warm-up + sample_size timed runs.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &5u32, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        g.finish();
+        assert_eq!(runs, 20); // (1 warm-up + 3 samples) * 5
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -112,6 +112,14 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
+
+    /// Iterates over every pending event as `(due_cycle, event)`, in
+    /// unspecified order (the heap's internal layout). Used by the
+    /// watchdog to dump in-flight events when a simulation stalls; sort
+    /// by cycle at the use site if order matters.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &E)> {
+        self.heap.iter().map(|Reverse(e)| (e.at, &e.ev))
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +189,18 @@ mod tests {
         assert_eq!(q.peek_time(), Some(17));
         q.pop();
         assert_eq!(q.peek_time(), Some(42));
+    }
+
+    #[test]
+    fn iter_sees_all_pending_events() {
+        let mut q = EventQueue::new();
+        q.push(30, 'c');
+        q.push(10, 'a');
+        q.push(20, 'b');
+        q.pop();
+        let mut pending: Vec<(Cycle, char)> = q.iter().map(|(t, &e)| (t, e)).collect();
+        pending.sort_unstable();
+        assert_eq!(pending, vec![(20, 'b'), (30, 'c')]);
     }
 
     #[test]

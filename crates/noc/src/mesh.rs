@@ -343,7 +343,7 @@ mod tests {
         let mut m = mesh();
         let a = m.send(0, 0, 1, 5);
         let b = m.send(0, 62, 63, 5);
-        assert_eq!(a.arrival - 0, b.arrival - 0);
+        assert_eq!(a.arrival, b.arrival);
     }
 
     #[test]

@@ -183,10 +183,12 @@ mod tests {
     #[test]
     fn energy_accumulates_linearly() {
         let m = EnergyModel::new(ProtocolKind::DiCo, 64, 4);
-        let mut s = ProtoStats::default();
-        s.l1_tag = Counter(10);
-        s.l1_data_read = Counter(4);
-        s.l1_data_write = Counter(6);
+        let s = ProtoStats {
+            l1_tag: Counter(10),
+            l1_data_read: Counter(4),
+            l1_data_write: Counter(6),
+            ..Default::default()
+        };
         let e = m.cache_energy(&s);
         assert!((e.l1_tag - 10.0 * m.e_l1_tag).abs() < 1e-12);
         assert!((e.l1_data - 10.0 * m.e_l1_data).abs() < 1e-12);
@@ -197,9 +199,11 @@ mod tests {
     #[test]
     fn network_energy_counts() {
         let m = EnergyModel::new(ProtocolKind::DiCo, 64, 4);
-        let mut n = NocStats::default();
-        n.routing_events = Counter(8);
-        n.flit_link_traversals = Counter(40);
+        let n = NocStats {
+            routing_events: Counter(8),
+            flit_link_traversals: Counter(40),
+            ..Default::default()
+        };
         let e = m.network_energy(&n);
         assert!((e.routing - 8.0 * m.e_route).abs() < 1e-12);
         assert!((e.links - 40.0 * m.e_flit).abs() < 1e-12);

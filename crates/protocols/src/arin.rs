@@ -581,7 +581,7 @@ impl Arin {
                 }
                 if same_area {
                     let lb = self.local_bit(req.requestor);
-                    let line = self.l1[tile].get_mut(block).expect("owner");
+                    let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("arin: owner line missing at L1 tile {tile}, block {block:#x}"));
                     line.area_sharers |= lb;
                     if let L1State::Owner { exclusive, .. } = &mut line.state {
                         *exclusive = false;
@@ -602,7 +602,7 @@ impl Arin {
                 // First remote-area read: the ownership dissolves
                 // (paper §III-B). We become a provider; the data parks at
                 // the home, which becomes the SBA ordering point.
-                let line = self.l1[tile].get_mut(block).expect("owner");
+                let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("arin: owner line missing at L1 tile {tile}, block {block:#x}"));
                 let (dirty, version) = (line.dirty(), line.version);
                 line.state = L1State::Provider;
                 line.area_sharers = 0;
@@ -641,7 +641,7 @@ impl Arin {
             {
                 // SBA provider serves the in-area read; the new copy is a
                 // provider too (paper §IV-B optimization).
-                let version = self.l1[tile].peek(block).expect("provider").version;
+                let version = self.l1[tile].peek(block).unwrap_or_else(|| panic!("arin: provider line missing at L1 tile {tile}, block {block:#x}")).version;
                 self.l1[tile].touch(block);
                 self.stats.l1_data_read.inc();
                 ctx.send(
@@ -699,7 +699,7 @@ impl Arin {
         let lat = self.spec.lat;
         let my_area = self.area_of(tile);
         let req_area = self.area_of(req.requestor);
-        let line = self.l1[tile].remove(block).expect("owner line");
+        let line = self.l1[tile].remove(block).unwrap_or_else(|| panic!("arin: owner line missing at L1 tile {tile}, block {block:#x}"));
         let mut area_invs = line.area_sharers;
         if req_area == my_area {
             area_invs &= !self.local_bit(req.requestor);
@@ -846,7 +846,7 @@ impl Arin {
             return;
         }
         if self.l1[tile].contains(block) {
-            let line = self.l1[tile].get_mut(block).expect("line");
+            let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("arin: inherited line missing at L1 tile {tile}, block {block:#x}"));
             line.state = L1State::Owner { exclusive: mine == 0, dirty };
             line.area_sharers = mine;
             // Refresh the inherited sharers' predictions (Figure 5).
@@ -960,7 +960,7 @@ impl Arin {
             return;
         }
         let my_area = self.area_of(tile);
-        let line = self.l1[tile].get_mut(block).expect("owner");
+        let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("arin: owner line missing at L1 tile {tile}, block {block:#x}"));
         let (dirty, version, sharers) = (line.dirty(), line.version, line.area_sharers);
         // The former owner stays on as a sharer of its area.
         line.state = L1State::Sharer { hint: None };
@@ -1109,7 +1109,7 @@ impl Arin {
             return;
         }
         if self.l2[home].contains(block) {
-            let role = self.l2[home].peek(block).expect("contains").role.clone();
+            let role = self.l2[home].peek(block).unwrap_or_else(|| panic!("arin: L2 entry missing at home {home}, block {block:#x}")).role.clone();
             match role {
                 L2Role::Sba { propos } => self.serve_sba(ctx, home, msg, req, propos),
                 L2Role::Owner { sharers, area } => {
@@ -1132,7 +1132,7 @@ impl Arin {
         if req.write {
             // Three-way broadcast invalidation (paper §IV-B1).
             self.stats.broadcast_invs.inc();
-            let e = self.l2[home].peek(block).expect("sba entry");
+            let e = self.l2[home].peek(block).unwrap_or_else(|| panic!("arin: SBA entry missing at home {home}, block {block:#x}"));
             let (dirty, version) = (e.dirty, e.version);
             self.home_queues[home].set_busy(block);
             self.tx[home].insert(block, HomeTx::SbaWrite { writer: req.requestor });
@@ -1186,7 +1186,7 @@ impl Arin {
             }
         }
         let hint = propos[req_area].map(|p| p as Tile).filter(|&p| p != req.requestor);
-        let e = self.l2[home].peek_mut(block).expect("sba entry");
+        let e = self.l2[home].peek_mut(block).unwrap_or_else(|| panic!("arin: SBA entry missing at home {home}, block {block:#x}"));
         e.role = L2Role::Sba { propos };
         let version = e.version;
         self.stats.l2_data_read.inc();
@@ -1221,7 +1221,7 @@ impl Arin {
         let block = msg.block;
         let lat = self.spec.lat;
         let req_area = self.area_of(req.requestor);
-        let e = self.l2[home].peek(block).expect("entry");
+        let e = self.l2[home].peek(block).unwrap_or_else(|| panic!("arin: L2 entry missing at home {home}, block {block:#x}"));
         let (dirty, version) = (e.dirty, e.version);
 
         if !req.write {
@@ -1234,7 +1234,7 @@ impl Arin {
                     // broadcast covers them).
                     let mut propos = [None; MAX_AREAS];
                     propos[req_area] = Some(req.requestor as u16);
-                    let e = self.l2[home].peek_mut(block).expect("entry");
+                    let e = self.l2[home].peek_mut(block).unwrap_or_else(|| panic!("arin: L2 entry missing at home {home}, block {block:#x}"));
                     e.role = L2Role::Sba { propos };
                     self.stats.l2_data_read.inc();
                     ctx.send(
@@ -1254,7 +1254,7 @@ impl Arin {
             }
             // Same area (or no copies): grant the ownership like DiCo.
             let others = sharers & !self.local_bit(req.requestor);
-            let e = self.l2[home].remove(block).expect("entry");
+            let e = self.l2[home].remove(block).unwrap_or_else(|| panic!("arin: L2 entry missing at home {home}, block {block:#x}"));
             self.stats.l2_data_read.inc();
             ctx.send(
                 Msg {
@@ -1287,7 +1287,7 @@ impl Arin {
             Some(a) => self.area_tiles(a, others),
             None => Vec::new(),
         };
-        let e = self.l2[home].remove(block).expect("entry");
+        let e = self.l2[home].remove(block).unwrap_or_else(|| panic!("arin: L2 entry missing at home {home}, block {block:#x}"));
         self.stats.l2_data_read.inc();
         for t in &targets {
             self.stats.invalidations.inc();
@@ -1534,14 +1534,20 @@ impl CoherenceProtocol for Arin {
         &self.spec
     }
 
-    fn core_access(&mut self, ctx: &mut Ctx, tile: Tile, block: Block, write: bool) -> AccessOutcome {
+    fn core_access(
+        &mut self,
+        ctx: &mut Ctx,
+        tile: Tile,
+        block: Block,
+        write: bool,
+    ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
         if self.mshr[tile].contains(block)
             || self.l1_queues[tile].is_busy(block)
             || self.bcast_blocked[tile].contains(&block)
         {
-            return AccessOutcome::Blocked;
+            return Ok(AccessOutcome::Blocked);
         }
         let lat = self.spec.lat;
         enum Action {
@@ -1564,7 +1570,7 @@ impl CoherenceProtocol for Arin {
             }
             None => Action::Miss,
         };
-        match action {
+        let outcome = match action {
             Action::HitRead => {
                 self.l1[tile].touch(block);
                 self.stats.l1_data_read.inc();
@@ -1590,14 +1596,22 @@ impl CoherenceProtocol for Arin {
                 self.drain_deferred(ctx);
                 AccessOutcome::Miss
             }
-        }
+        };
+        Ok(outcome)
     }
 
-    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) {
+    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError> {
         match (msg.dst, msg.kind) {
             (Node::L1(tile), MsgKind::Req(req)) => self.l1_handle_req(ctx, tile, msg, req),
             (Node::L1(tile), MsgKind::Data(d)) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("fill without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoArin,
+                        msg.dst,
+                        msg.block,
+                        format!("data fill without MSHR entry ({:?} from {:?})", d.supplier, msg.src),
+                    ));
+                };
                 e.have_data = true;
                 e.acks_needed += d.acks_sharers as i64;
                 e.fill = Some(d);
@@ -1608,7 +1622,14 @@ impl CoherenceProtocol for Arin {
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::Ack) | (Node::L1(tile), MsgKind::BcastAck) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("ack without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoArin,
+                        msg.dst,
+                        msg.block,
+                        format!("invalidation ack without MSHR entry (from {:?})", msg.src),
+                    ));
+                };
                 e.acks_needed -= 1;
                 self.try_complete(ctx, tile, msg.block);
             }
@@ -1687,15 +1708,21 @@ impl CoherenceProtocol for Arin {
                         finished = Some((*dirty, *version));
                     }
                 } else {
-                    panic!("stray ack at home");
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoArin,
+                        msg.dst,
+                        msg.block,
+                        format!("stray invalidation ack at home (no SbaEvict transaction; from {:?})", msg.src),
+                    ));
                 }
                 if let Some((dirty, version)) = finished {
                     self.finish_sba_evict(ctx, home, msg.block, dirty, version);
                 }
             }
-            other => panic!("arin: unexpected message {other:?}"),
+            _ => return Err(ProtoError::unexpected(ProtocolKind::DiCoArin, &msg)),
         }
         self.drain_deferred(ctx);
+        Ok(())
     }
 
     fn stats(&self) -> &ProtoStats {

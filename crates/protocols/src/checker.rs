@@ -15,9 +15,17 @@
 //!
 //! The randomized stress tests drive tens of thousands of accesses
 //! through each protocol and call [`check`] at every quiescent point.
+//!
+//! [`StepChecker`] additionally validates the *mid-flight* invariants
+//! after every handled message: the SWMR single-owner rule and DiCo's
+//! forwarding bound hold at every step, and the full quiescent checks
+//! (plus owner-pointer consistency) run whenever the chip drains. It
+//! keeps a bounded history of recent events so a violation report can
+//! show what led up to it.
 
-use crate::common::{Block, Tile};
-use std::collections::BTreeMap;
+use crate::common::{Block, Msg, MsgKind, Tile, MAX_CHASE_HOPS};
+use cmpsim_engine::Cycle;
+use std::collections::{BTreeMap, VecDeque};
 
 /// State of one L1 copy, protocol-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +192,151 @@ pub fn check(snap: &ChipSnapshot) -> Result<(), Vec<String>> {
     }
 }
 
+/// One entry in the [`StepChecker`]'s event history.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// Cycle the event happened at.
+    pub cycle: Cycle,
+    /// Block concerned.
+    pub block: Block,
+    /// Short description of the event.
+    pub what: String,
+}
+
+/// Per-message invariant checker (the watchdog's second half).
+///
+/// After each handled message, only the invariants that survive
+/// transient states may be asserted — exclusivity and stale-copy checks
+/// are *legally* violated while invalidations are in flight, so they run
+/// only when the protocol reports quiescence. What holds at every step:
+///
+/// * **SWMR single owner** — at most one L1 owns the touched block;
+/// * **forwarding bound** — no request has been L1-to-L1 forwarded more
+///   than [`MAX_CHASE_HOPS`] times;
+/// * **at quiescence** — the full [`check`] plus owner-pointer
+///   consistency (every home that names an L1 owner must find that L1
+///   actually owning the block).
+#[derive(Debug, Clone)]
+pub struct StepChecker {
+    history: VecDeque<HistoryEntry>,
+    capacity: usize,
+}
+
+impl Default for StepChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StepChecker {
+    /// A checker with the default history window (512 events).
+    pub fn new() -> Self {
+        Self::with_capacity(512)
+    }
+
+    /// A checker keeping the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { history: VecDeque::with_capacity(capacity.min(4096)), capacity }
+    }
+
+    fn push(&mut self, cycle: Cycle, block: Block, what: String) {
+        if self.history.len() == self.capacity {
+            self.history.pop_front();
+        }
+        self.history.push_back(HistoryEntry { cycle, block, what });
+    }
+
+    /// Records a core access in the history window.
+    pub fn record_access(&mut self, now: Cycle, tile: Tile, block: Block, write: bool) {
+        let rw = if write { "store" } else { "load" };
+        self.push(now, block, format!("core {tile} {rw}"));
+    }
+
+    /// Records a delivered message in the history window.
+    pub fn record_message(&mut self, now: Cycle, msg: &Msg) {
+        self.push(now, msg.block, format!("{:?} -> {:?}: {:?}", msg.src, msg.dst, msg.kind));
+    }
+
+    /// Validates the mid-flight invariants after `msg` was handled;
+    /// `quiescent` additionally triggers the full quiescent-state checks.
+    /// Returns every violation found (empty = pass).
+    pub fn check_step(
+        &self,
+        msg: &Msg,
+        snap: &ChipSnapshot,
+        quiescent: bool,
+    ) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+
+        // DiCo forwarding bound: a request must fall back to the home
+        // after MAX_CHASE_HOPS L1-to-L1 forwards.
+        if let MsgKind::Req(req) = msg.kind {
+            if req.hops > MAX_CHASE_HOPS {
+                errors.push(format!(
+                    "block {:#x}: request from tile {} exceeded the forwarding bound ({} hops > {MAX_CHASE_HOPS})",
+                    msg.block, req.requestor, req.hops
+                ));
+            }
+        }
+
+        // SWMR: at most one L1 owner of the touched block, at all times.
+        let owners: Vec<Tile> = snap
+            .l1
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                matches!(m.get(&msg.block).map(|c| c.state), Some(CopyState::Owner { .. }))
+            })
+            .map(|(t, _)| t)
+            .collect();
+        if owners.len() > 1 {
+            errors.push(format!("block {:#x}: multiple owners {owners:?}", msg.block));
+        }
+
+        if quiescent {
+            if let Err(mut errs) = check(snap) {
+                errors.append(&mut errs);
+            }
+            // Owner-pointer consistency: a home naming an L1 owner must
+            // find it owning the block (ownership moves are never silent,
+            // so at quiescence the pointer is exact).
+            for (&block, view) in &snap.l2 {
+                if let Some(t) = view.owner_in_l1 {
+                    let owns = matches!(
+                        snap.l1.get(t).and_then(|m| m.get(&block)).map(|c| c.state),
+                        Some(CopyState::Owner { .. })
+                    );
+                    if !owns {
+                        errors.push(format!(
+                            "block {block:#x}: home points at owner tile {t}, which does not own the block"
+                        ));
+                    }
+                }
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The recorded history window for `block`, oldest first.
+    pub fn history_for(&self, block: Block) -> Vec<String> {
+        self.history
+            .iter()
+            .filter(|e| e.block == block)
+            .map(|e| format!("cycle {}: {}", e.cycle, e.what))
+            .collect()
+    }
+
+    /// The full recorded history window, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.history.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +459,91 @@ mod tests {
         // Covering both passes (extra stale bits are fine).
         s.recorded.insert(9, 0b1111);
         assert!(check(&s).is_ok());
+    }
+
+    mod step_checker {
+        use super::*;
+        use crate::common::{DataInfo, Node, ReqInfo, Supplier};
+
+        fn req_msg(hops: u8) -> Msg {
+            Msg {
+                kind: MsgKind::Req(ReqInfo {
+                    requestor: 0,
+                    write: false,
+                    forwarder: None,
+                    via_home: false,
+                    predicted: false,
+                    vouched: false,
+                    hops,
+                }),
+                block: 1,
+                src: Node::L1(0),
+                dst: Node::L1(1),
+            }
+        }
+
+        #[test]
+        fn hop_bound_enforced() {
+            let chk = StepChecker::new();
+            let s = snap2();
+            assert!(chk.check_step(&req_msg(MAX_CHASE_HOPS), &s, false).is_ok());
+            let errs = chk.check_step(&req_msg(MAX_CHASE_HOPS + 1), &s, false).unwrap_err();
+            assert!(errs.iter().any(|e| e.contains("forwarding bound")));
+        }
+
+        #[test]
+        fn midflight_allows_transient_staleness_but_not_double_owner() {
+            let chk = StepChecker::new();
+            let mut s = snap2();
+            // A stale sharer is legal mid-flight (invalidation en route)…
+            s.authority.insert(1, 5);
+            s.l1[0].insert(
+                1,
+                CopyView { state: CopyState::Owner { exclusive: false, dirty: true }, version: 5 },
+            );
+            s.l1[1].insert(1, CopyView { state: CopyState::Shared, version: 4 });
+            assert!(chk.check_step(&req_msg(0), &s, false).is_ok());
+            // …but a second owner never is.
+            s.l1[1].insert(
+                1,
+                CopyView { state: CopyState::Owner { exclusive: false, dirty: false }, version: 4 },
+            );
+            let errs = chk.check_step(&req_msg(0), &s, false).unwrap_err();
+            assert!(errs.iter().any(|e| e.contains("multiple owners")));
+        }
+
+        #[test]
+        fn quiescent_owner_pointer_must_be_accurate() {
+            let chk = StepChecker::new();
+            let mut s = snap2();
+            s.l2.insert(1, L2View { has_data: false, version: 0, dirty: false, owner_in_l1: Some(1) });
+            let errs = chk.check_step(&req_msg(0), &s, true).unwrap_err();
+            assert!(errs.iter().any(|e| e.contains("points at owner tile 1")));
+            s.l1[1].insert(
+                1,
+                CopyView { state: CopyState::Owner { exclusive: true, dirty: false }, version: 0 },
+            );
+            s.recorded.insert(1, 0b10);
+            assert!(chk.check_step(&req_msg(0), &s, true).is_ok());
+        }
+
+        #[test]
+        fn history_window_is_bounded_and_filtered() {
+            let mut chk = StepChecker::with_capacity(4);
+            for i in 0..10u64 {
+                chk.record_access(i, 0, i % 2, i % 3 == 0);
+            }
+            assert_eq!(chk.history().count(), 4);
+            let ones = chk.history_for(1);
+            assert!(ones.iter().all(|e| e.starts_with("cycle")));
+            let msg = Msg {
+                kind: MsgKind::Data(DataInfo::shared(1, Supplier::HomeL2)),
+                block: 7,
+                src: Node::L2(0),
+                dst: Node::L1(1),
+            };
+            chk.record_message(11, &msg);
+            assert_eq!(chk.history_for(7).len(), 1);
+        }
     }
 }

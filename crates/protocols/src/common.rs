@@ -728,6 +728,55 @@ impl ProtoStats {
     }
 }
 
+/// A fatal protocol-state inconsistency detected during dispatch: a
+/// message arrived that the receiving controller's state machine has no
+/// transition for (e.g. a data fill without an allocated MSHR, or a
+/// completion signal with no matching transaction).
+///
+/// These used to be `panic!`s inside the protocol crates; they are now
+/// typed so the driver can abort gracefully, attach the chip-wide
+/// diagnostic dump, and emit a replay artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Protocol that faulted.
+    pub protocol: ProtocolKind,
+    /// Endpoint whose controller had no transition for the event.
+    pub at: Node,
+    /// Block the offending event concerned.
+    pub block: Block,
+    /// What happened, e.g. `"fill without MSHR"` or
+    /// `"unexpected message Ack"`.
+    pub what: String,
+}
+
+impl ProtoError {
+    /// A fault at `at` concerning `block`.
+    pub fn new(protocol: ProtocolKind, at: Node, block: Block, what: impl Into<String>) -> Self {
+        Self { protocol, at, block, what: what.into() }
+    }
+
+    /// The standard "this controller has no transition for this message"
+    /// fault.
+    pub fn unexpected(protocol: ProtocolKind, msg: &Msg) -> Self {
+        Self::new(protocol, msg.dst, msg.block, format!("unexpected message {:?} from {:?}", msg.kind, msg.src))
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} protocol fault at {:?}, block {:#x}: {}",
+            self.protocol.name(),
+            self.at,
+            self.block,
+            self.what
+        )
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
 /// The interface every protocol implements; the driver in `cmpsim` (and
 /// the in-crate test harness) is written against this.
 pub trait CoherenceProtocol {
@@ -736,10 +785,21 @@ pub trait CoherenceProtocol {
     /// Chip description.
     fn spec(&self) -> &ChipSpec;
     /// A core load (`write == false`) or store presented to its L1.
-    fn core_access(&mut self, ctx: &mut Ctx, tile: Tile, block: Block, write: bool)
-        -> AccessOutcome;
+    ///
+    /// `Err` means the L1 controller's state machine hit an
+    /// inconsistency; the simulation cannot continue.
+    fn core_access(
+        &mut self,
+        ctx: &mut Ctx,
+        tile: Tile,
+        block: Block,
+        write: bool,
+    ) -> Result<AccessOutcome, ProtoError>;
     /// A delivered message.
-    fn handle(&mut self, ctx: &mut Ctx, msg: Msg);
+    ///
+    /// `Err` means the receiving controller had no transition for the
+    /// message; the simulation cannot continue.
+    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError>;
     /// Statistics.
     fn stats(&self) -> &ProtoStats;
     /// Clears statistics (used after simulation warm-up).

@@ -1223,11 +1223,11 @@ impl CoherenceProtocol for DiCo {
         tile: Tile,
         block: Block,
         write: bool,
-    ) -> AccessOutcome {
+    ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
         if self.mshr[tile].contains(block) || self.l1_queues[tile].is_busy(block) {
-            return AccessOutcome::Blocked;
+            return Ok(AccessOutcome::Blocked);
         }
         let lat = self.spec.lat;
         enum Action {
@@ -1244,7 +1244,7 @@ impl CoherenceProtocol for DiCo {
             Some(L1State::Owner { exclusive: false, .. }) => Action::Upgrade,
             None => Action::Miss,
         };
-        match action {
+        let outcome = match action {
             Action::HitRead => {
                 self.l1[tile].touch(block);
                 self.stats.l1_data_read.inc();
@@ -1270,15 +1270,23 @@ impl CoherenceProtocol for DiCo {
                 self.drain_deferred(ctx);
                 AccessOutcome::Miss
             }
-        }
+        };
+        Ok(outcome)
     }
 
-    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) {
+    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError> {
         match (msg.dst, msg.kind) {
             // ------------------------------------------------ L1 side
             (Node::L1(tile), MsgKind::Req(req)) => self.l1_handle_req(ctx, tile, msg, req),
             (Node::L1(tile), MsgKind::Data(d)) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("fill without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCo,
+                        msg.dst,
+                        msg.block,
+                        format!("data fill without MSHR entry ({:?} from {:?})", d.supplier, msg.src),
+                    ));
+                };
                 e.have_data = true;
                 e.acks_needed += d.acks_sharers as i64;
                 e.fill = Some(d);
@@ -1286,7 +1294,14 @@ impl CoherenceProtocol for DiCo {
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::Ack) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("ack without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCo,
+                        msg.dst,
+                        msg.block,
+                        format!("invalidation ack without MSHR entry (from {:?})", msg.src),
+                    ));
+                };
                 e.acks_needed -= 1;
                 self.try_complete(ctx, tile, msg.block);
             }
@@ -1343,7 +1358,12 @@ impl CoherenceProtocol for DiCo {
                     let Some(HomeTx::EvictL2 { acks_left, .. }) =
                         self.tx[home].get_mut(&msg.block)
                     else {
-                        panic!("stray ack at home")
+                        return Err(ProtoError::new(
+                            ProtocolKind::DiCo,
+                            msg.dst,
+                            msg.block,
+                            format!("stray invalidation ack at home (no EvictL2 transaction; from {:?})", msg.src),
+                        ));
                     };
                     *acks_left -= 1;
                     *acks_left == 0
@@ -1369,9 +1389,10 @@ impl CoherenceProtocol for DiCo {
                     }
                 }
             }
-            other => panic!("dico: unexpected message {other:?}"),
+            _ => return Err(ProtoError::unexpected(ProtocolKind::DiCo, &msg)),
         }
         self.drain_deferred(ctx);
+        Ok(())
     }
 
     fn stats(&self) -> &ProtoStats {

@@ -704,11 +704,17 @@ impl CoherenceProtocol for Directory {
         &self.spec
     }
 
-    fn core_access(&mut self, ctx: &mut Ctx, tile: Tile, block: Block, write: bool) -> AccessOutcome {
+    fn core_access(
+        &mut self,
+        ctx: &mut Ctx,
+        tile: Tile,
+        block: Block,
+        write: bool,
+    ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
         if self.mshr[tile].contains(block) {
-            return AccessOutcome::Blocked;
+            return Ok(AccessOutcome::Blocked);
         }
         let lat = self.spec.lat;
         let hit = match self.l1[tile].get_mut(block) {
@@ -736,14 +742,14 @@ impl CoherenceProtocol for Directory {
                 self.stats.l1_data_read.inc();
             }
             self.stats.l1_hits.inc();
-            return AccessOutcome::Hit { latency: lat.l1_hit() };
+            return Ok(AccessOutcome::Hit { latency: lat.l1_hit() });
         }
         self.start_miss(ctx, tile, block, write);
         self.drain_deferred(ctx);
-        AccessOutcome::Miss
+        Ok(AccessOutcome::Miss)
     }
 
-    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) {
+    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError> {
         match (msg.dst, msg.kind) {
             // ---------------- home (L2 bank) side
             (Node::L2(home), MsgKind::Req(req)) => {
@@ -789,7 +795,12 @@ impl CoherenceProtocol for Directory {
                     *acks_left -= 1;
                     self.finish_evict_if_done(ctx, home, msg.block);
                 } else {
-                    panic!("stray eviction ack at home {home}");
+                    return Err(ProtoError::new(
+                        ProtocolKind::Directory,
+                        msg.dst,
+                        msg.block,
+                        format!("stray eviction ack at home (no Evict transaction; from {:?})", msg.src),
+                    ));
                 }
             }
             // ---------------- L1 side
@@ -797,23 +808,38 @@ impl CoherenceProtocol for Directory {
                 self.l1_handle_forwarded(ctx, tile, msg, req);
             }
             (Node::L1(tile), MsgKind::Data(d)) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("fill without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::Directory,
+                        msg.dst,
+                        msg.block,
+                        format!("data fill without MSHR entry ({:?} from {:?})", d.supplier, msg.src),
+                    ));
+                };
                 e.have_data = true;
                 e.acks_needed += d.acks_sharers as i64;
                 e.fill = Some(d);
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::Ack) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("ack without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::Directory,
+                        msg.dst,
+                        msg.block,
+                        format!("invalidation ack without MSHR entry (from {:?})", msg.src),
+                    ));
+                };
                 e.acks_needed -= 1;
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::Inv { reply_to, .. }) => {
                 self.l1_handle_inv(ctx, tile, msg.block, reply_to);
             }
-            other => panic!("directory: unexpected message {other:?}"),
+            _ => return Err(ProtoError::unexpected(ProtocolKind::Directory, &msg)),
         }
         self.drain_deferred(ctx);
+        Ok(())
     }
 
     fn stats(&self) -> &ProtoStats {

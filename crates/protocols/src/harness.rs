@@ -8,7 +8,7 @@
 //! protocol *correctness* must not depend on timing, and the randomized
 //! tests shuffle delivery latencies to prove it.
 
-use crate::checker;
+use crate::checker::{self, StepChecker};
 use crate::common::{
     AccessOutcome, Block, CoherenceProtocol, Ctx, Msg, MsgKind, Node, Tile,
 };
@@ -43,6 +43,9 @@ pub struct Harness<P: CoherenceProtocol> {
     /// protocols rely on it for (e.g.) Unblock-before-ChangeOwner.
     fifo: BTreeMap<(Node, Node), Cycle>,
     events_processed: u64,
+    /// Optional per-message invariant checker (see
+    /// [`enable_invariant_checker`](Self::enable_invariant_checker)).
+    checker: Option<StepChecker>,
 }
 
 impl<P: CoherenceProtocol> Harness<P> {
@@ -60,7 +63,17 @@ impl<P: CoherenceProtocol> Harness<P> {
             jitter: None,
             fifo: BTreeMap::new(),
             events_processed: 0,
+            checker: None,
         }
+    }
+
+    /// Turns on the per-message invariant checker: SWMR and the
+    /// forwarding bound are validated after every handled message, and
+    /// the full quiescent checks whenever the chip drains. Slows the run
+    /// down (a whole-chip snapshot per message) but pins down *when* an
+    /// invariant first breaks instead of discovering it at the end.
+    pub fn enable_invariant_checker(&mut self) {
+        self.checker = Some(StepChecker::new());
     }
 
     /// Appends an access to a tile's script.
@@ -139,7 +152,14 @@ impl<P: CoherenceProtocol> Harness<P> {
             return;
         };
         let mut ctx = Ctx::at(now);
-        match self.proto.core_access(&mut ctx, tile, block, write) {
+        if let Some(chk) = &mut self.checker {
+            chk.record_access(now, tile, block, write);
+        }
+        let outcome = self
+            .proto
+            .core_access(&mut ctx, tile, block, write)
+            .unwrap_or_else(|e| panic!("{e}\n{}", self.proto.pending_summary()));
+        match outcome {
             AccessOutcome::Hit { .. } => {
                 self.scripts[tile].pop_front();
                 self.completed[tile] += 1;
@@ -196,8 +216,34 @@ impl<P: CoherenceProtocol> Harness<P> {
                         }
                     }
                     let mut ctx = Ctx::at(now);
-                    self.proto.handle(&mut ctx, msg);
+                    if let Err(e) = self.proto.handle(&mut ctx, msg) {
+                        let history = self
+                            .checker
+                            .as_ref()
+                            .map(|c| c.history_for(msg.block).join("\n"))
+                            .unwrap_or_default();
+                        panic!("{e}\n{}\n{history}", self.proto.pending_summary());
+                    }
                     self.apply_ctx(now, ctx);
+                    if let Some(chk) = &mut self.checker {
+                        chk.record_message(now, &msg);
+                        let snap = self.proto.snapshot();
+                        // True quiescence needs an empty event queue too:
+                        // fire-and-forget traffic (hints, acks, writebacks)
+                        // is not tracked by the protocol's pending state.
+                        let quiescent = self.queue.is_empty() && self.proto.quiescent();
+                        if let Err(errors) = chk.check_step(&msg, &snap, quiescent) {
+                            panic!(
+                                "invariant violation at cycle {now} after {:?} -> {:?}: {:?}\n{}\nhistory of block {:#x}:\n{}",
+                                msg.src,
+                                msg.dst,
+                                msg.kind,
+                                errors.join("\n"),
+                                msg.block,
+                                chk.history_for(msg.block).join("\n")
+                            );
+                        }
+                    }
                 }
                 Ev::Retry(tile) => self.try_issue(now, tile),
             }

@@ -54,6 +54,6 @@ pub mod harness;
 pub mod providers;
 
 pub use common::{
-    AccessOutcome, CoherenceProtocol, Ctx, MissClass, Msg, MsgKind, Node, ProtoStats,
-    ProtocolKind, Supplier,
+    AccessOutcome, CoherenceProtocol, Ctx, MissClass, Msg, MsgKind, Node, ProtoError,
+    ProtoStats, ProtocolKind, Supplier,
 };

@@ -282,7 +282,7 @@ impl Providers {
             self.send_area_invs(ctx, Node::L1(tile), block, my_area, sharers, Node::L1(tile), version);
             self.send_provider_invs(ctx, Node::L1(tile), block, &propos, Node::L1(tile));
             // Clear the pointers now; completion makes us exclusive.
-            let line = self.l1[tile].peek_mut(block).expect("owner");
+            let line = self.l1[tile].peek_mut(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
             line.area_sharers = 0;
             line.propos = [None; MAX_AREAS];
             return;
@@ -673,7 +673,7 @@ impl Providers {
                 let req_area = self.area_of(req.requestor);
                 if same_area {
                     let lb = self.local_bit(req.requestor);
-                    let line = self.l1[tile].get_mut(block).expect("owner");
+                    let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
                     line.area_sharers |= lb;
                     if let L1State::Owner { exclusive, .. } = &mut line.state {
                         *exclusive = false;
@@ -692,7 +692,7 @@ impl Providers {
                     return;
                 }
                 // Remote-area read.
-                let provider = self.l1[tile].peek(block).expect("owner").propos[req_area];
+                let provider = self.l1[tile].peek(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}")).propos[req_area];
                 match provider {
                     Some(p) if req.forwarder != Some(p as Tile) => {
                         // Forward to the provider of the requestor's area.
@@ -711,7 +711,7 @@ impl Providers {
                         // displaced pointer's copy may still be live
                         // (message crossing): destroy it silently so no
                         // untracked copy survives.
-                        let stale = self.l1[tile].peek(block).expect("owner").propos[req_area];
+                        let stale = self.l1[tile].peek(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}")).propos[req_area];
                         if let Some(p) = stale {
                             ctx.send(
                                 Msg {
@@ -723,7 +723,7 @@ impl Providers {
                                 lat.l1_tag,
                             );
                         }
-                        let line = self.l1[tile].get_mut(block).expect("owner");
+                        let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
                         line.propos[req_area] = Some(req.requestor as u16);
                         if let L1State::Owner { exclusive, .. } = &mut line.state {
                             *exclusive = false;
@@ -753,7 +753,7 @@ impl Providers {
             Some(L1State::Provider) if !req.write && same_area && !self.mshr[tile].contains(block) => {
                 // Table I: provider serves an in-area read.
                 let lb = self.local_bit(req.requestor);
-                let line = self.l1[tile].get_mut(block).expect("provider");
+                let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: provider line missing at L1 tile {tile}, block {block:#x}"));
                 line.area_sharers |= lb;
                 let version = line.version;
                 self.stats.l1_data_read.inc();
@@ -813,7 +813,7 @@ impl Providers {
         let lat = self.spec.lat;
         let my_area = self.area_of(tile);
         let req_area = self.area_of(req.requestor);
-        let line = self.l1[tile].remove(block).expect("owner line");
+        let line = self.l1[tile].remove(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
 
         // Sharers of the owner's area (minus the requestor if local).
         let mut area_invs = line.area_sharers;
@@ -904,7 +904,7 @@ impl Providers {
         let is_provider =
             matches!(self.l1[tile].peek(block).map(|l| &l.state), Some(L1State::Provider));
         if is_provider {
-            let line = self.l1[tile].remove(block).expect("provider");
+            let line = self.l1[tile].remove(block).unwrap_or_else(|| panic!("providers: provider line missing at L1 tile {tile}, block {block:#x}"));
             let n = line.area_sharers.count_ones();
             self.send_area_invs(ctx, Node::L1(tile), block, my_area, line.area_sharers, reply_to, line.version);
             ctx.send(
@@ -992,7 +992,7 @@ impl Providers {
             return;
         }
         if self.l1[tile].contains(block) {
-            let line = self.l1[tile].get_mut(block).expect("line");
+            let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: inherited line missing at L1 tile {tile}, block {block:#x}"));
             line.state = L1State::Owner {
                 exclusive: mine == 0 && Self::propo_count(&propos) == 0,
                 dirty,
@@ -1072,7 +1072,7 @@ impl Providers {
         let is_plain_sharer =
             matches!(self.l1[tile].peek(block).map(|l| &l.state), Some(L1State::Sharer { .. }));
         if is_plain_sharer {
-            let line = self.l1[tile].get_mut(block).expect("sharer");
+            let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: sharer line missing at L1 tile {tile}, block {block:#x}"));
             line.state = L1State::Provider;
             line.area_sharers = mine;
             // Register with the owner (routed via the home; best-effort —
@@ -1165,7 +1165,7 @@ impl Providers {
             return;
         }
         let my_area = self.area_of(tile);
-        let line = self.l1[tile].get_mut(block).expect("owner");
+        let line = self.l1[tile].get_mut(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
         let (dirty, version) = (line.dirty(), line.version);
         let mut propos = line.propos;
         // The former owner stays on as the provider of its area
@@ -1284,7 +1284,7 @@ impl Providers {
             let req_area = self.area_of(req.requestor);
             // Read + live provider in the area: forward to the provider.
             if !req.write {
-                let propo = self.l2[home].peek(block).expect("contains").propos[req_area];
+                let propo = self.l2[home].peek(block).unwrap_or_else(|| panic!("providers: L2 entry missing at home {home}, block {block:#x}")).propos[req_area];
                 match propo {
                     Some(p) if req.forwarder != Some(p as Tile) && p as Tile != req.requestor => {
                         self.send_req(
@@ -1301,7 +1301,7 @@ impl Providers {
                         // The provider pointer is stale (or the messages
                         // crossed): repair it and destroy any surviving
                         // copy at the displaced provider.
-                        self.l2[home].peek_mut(block).expect("contains").propos[req_area] = None;
+                        self.l2[home].peek_mut(block).unwrap_or_else(|| panic!("providers: L2 entry missing at home {home}, block {block:#x}")).propos[req_area] = None;
                         ctx.send(
                             Msg {
                                 kind: MsgKind::InvSilent,
@@ -1317,7 +1317,7 @@ impl Providers {
             }
             // Grant the ownership to the requestor (Table I: L2 owner, no
             // provider -> requestor becomes owner).
-            let e = self.l2[home].remove(block).expect("contains");
+            let e = self.l2[home].remove(block).unwrap_or_else(|| panic!("providers: L2 entry missing at home {home}, block {block:#x}"));
             self.stats.l2_data_read.inc();
             let propos = e.propos;
             let n_prov = Self::propo_count(&propos);
@@ -1517,7 +1517,7 @@ impl Providers {
             // Stale: drop; the pointer will self-correct.
             return;
         }
-        let line = self.l1[tile].peek_mut(block).expect("owner");
+        let line = self.l1[tile].peek_mut(block).unwrap_or_else(|| panic!("providers: owner line missing at L1 tile {tile}, block {block:#x}"));
         match msg.kind {
             MsgKind::ChangeProvider { area, new_provider } => {
                 line.propos[area as usize] = Some(new_provider as u16);
@@ -1557,11 +1557,17 @@ impl CoherenceProtocol for Providers {
         &self.spec
     }
 
-    fn core_access(&mut self, ctx: &mut Ctx, tile: Tile, block: Block, write: bool) -> AccessOutcome {
+    fn core_access(
+        &mut self,
+        ctx: &mut Ctx,
+        tile: Tile,
+        block: Block,
+        write: bool,
+    ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
         if self.mshr[tile].contains(block) || self.l1_queues[tile].is_busy(block) {
-            return AccessOutcome::Blocked;
+            return Ok(AccessOutcome::Blocked);
         }
         let lat = self.spec.lat;
         enum Action {
@@ -1585,7 +1591,7 @@ impl CoherenceProtocol for Providers {
             }
             None => Action::Miss,
         };
-        match action {
+        let outcome = match action {
             Action::HitRead => {
                 self.l1[tile].touch(block);
                 self.stats.l1_data_read.inc();
@@ -1611,15 +1617,23 @@ impl CoherenceProtocol for Providers {
                 self.drain_deferred(ctx);
                 AccessOutcome::Miss
             }
-        }
+        };
+        Ok(outcome)
     }
 
-    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) {
+    fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError> {
         match (msg.dst, msg.kind) {
             (Node::L1(tile), MsgKind::Req(req)) => self.l1_handle_req(ctx, tile, msg, req),
             (Node::L1(tile), MsgKind::Data(d)) => {
                 {
-                    let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("fill without MSHR: tile {tile} msg {msg:?}"));
+                    let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                        return Err(ProtoError::new(
+                            ProtocolKind::DiCoProviders,
+                            msg.dst,
+                            msg.block,
+                            format!("data fill without MSHR entry ({:?} from {:?})", d.supplier, msg.src),
+                        ));
+                    };
                     e.have_data = true;
                     e.acks_needed += d.acks_sharers as i64;
                     e.provider_acks_needed += d.acks_providers as i64;
@@ -1633,12 +1647,26 @@ impl CoherenceProtocol for Providers {
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::Ack) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("ack without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoProviders,
+                        msg.dst,
+                        msg.block,
+                        format!("invalidation ack without MSHR entry (from {:?})", msg.src),
+                    ));
+                };
                 e.acks_needed -= 1;
                 self.try_complete(ctx, tile, msg.block);
             }
             (Node::L1(tile), MsgKind::AckCount { sharers }) => {
-                let e = self.mshr[tile].get_mut(msg.block).unwrap_or_else(|| panic!("ack-count without MSHR: tile {tile} msg {msg:?}"));
+                let Some(e) = self.mshr[tile].get_mut(msg.block) else {
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoProviders,
+                        msg.dst,
+                        msg.block,
+                        format!("provider ack-count without MSHR entry (from {:?})", msg.src),
+                    ));
+                };
                 e.provider_acks_needed -= 1;
                 e.acks_needed += sharers as i64;
                 self.try_complete(ctx, tile, msg.block);
@@ -1747,7 +1775,12 @@ impl CoherenceProtocol for Providers {
                         finished = Some((*dirty, *version));
                     }
                 } else {
-                    panic!("stray ack at home");
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoProviders,
+                        msg.dst,
+                        msg.block,
+                        format!("stray invalidation ack at home (no EvictL2 transaction; from {:?})", msg.src),
+                    ));
                 }
                 if let Some((dirty, version)) = finished {
                     self.finish_l2_eviction(ctx, home, msg.block, dirty, version);
@@ -1764,15 +1797,21 @@ impl CoherenceProtocol for Providers {
                         finished = Some((*dirty, *version));
                     }
                 } else {
-                    panic!("stray ack-count at home");
+                    return Err(ProtoError::new(
+                        ProtocolKind::DiCoProviders,
+                        msg.dst,
+                        msg.block,
+                        format!("stray provider ack-count at home (no EvictL2 transaction; from {:?})", msg.src),
+                    ));
                 }
                 if let Some((dirty, version)) = finished {
                     self.finish_l2_eviction(ctx, home, msg.block, dirty, version);
                 }
             }
-            other => panic!("providers: unexpected message {other:?}"),
+            _ => return Err(ProtoError::unexpected(ProtocolKind::DiCoProviders, &msg)),
         }
         self.drain_deferred(ctx);
+        Ok(())
     }
 
     fn stats(&self) -> &ProtoStats {

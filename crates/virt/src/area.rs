@@ -209,7 +209,7 @@ mod tests {
     fn non_square_mesh() {
         let a = AreaMap::new(16, 8, 8);
         assert_eq!(a.tiles_per_area(), 16);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for t in 0..128 {
             counts[a.area_of(t)] += 1;
         }

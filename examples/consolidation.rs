@@ -19,7 +19,7 @@ fn main() {
     let benchmarks = [Benchmark::Apache, Benchmark::Radix];
 
     println!("4 VMs x 16 cores, memory deduplication on, {refs} refs/core\n");
-    let results = run_matrix(&protocols, &benchmarks, &cfg);
+    let results = run_matrix(&protocols, &benchmarks, &cfg).expect("simulation failed");
 
     for (bi, b) in benchmarks.iter().enumerate() {
         let base = &results[bi * protocols.len()];

@@ -18,12 +18,13 @@ fn main() {
     println!("apache4x16p, matched vs alternative placement ({refs} refs/core)\n");
     let mut rows = Vec::new();
     for kind in [ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin] {
-        let matched = run_benchmark(kind, Benchmark::Apache, &base);
+        let matched = run_benchmark(kind, Benchmark::Apache, &base).expect("simulation failed");
         let alt = run_benchmark(
             kind,
             Benchmark::Apache,
             &base.clone().with_placement(Placement::Alternative),
-        );
+        )
+        .expect("simulation failed");
         rows.push(vec![
             kind.name().to_string(),
             format!("{:.3}", alt.performance() / matched.performance()),

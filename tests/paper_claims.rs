@@ -36,7 +36,7 @@ fn claim_static_power_reduction() {
 #[test]
 fn claim_dynamic_power_shape_apache() {
     let cfg = SystemConfig::paper().with_refs(6_000);
-    let r = run_matrix(&ProtocolKind::all(), &[Benchmark::Apache], &cfg);
+    let r = run_matrix(&ProtocolKind::all(), &[Benchmark::Apache], &cfg).expect("run");
     let dir = &r[0];
     let dico = &r[1];
     let prov = &r[2];
@@ -62,7 +62,8 @@ fn claim_shortened_misses() {
         &[ProtocolKind::Directory, ProtocolKind::DiCoProviders],
         &[Benchmark::Apache],
         &cfg,
-    );
+    )
+    .expect("run");
     assert!(
         r[1].avg_links_per_message() < r[0].avg_links_per_message(),
         "providers {:.2} vs directory {:.2}",
@@ -80,7 +81,8 @@ fn claim_miss_latency_reduction() {
         &[ProtocolKind::Directory, ProtocolKind::DiCo, ProtocolKind::DiCoArin],
         &[Benchmark::Apache],
         &cfg,
-    );
+    )
+    .expect("run");
     assert!(
         r[1].avg_miss_latency() < r[0].avg_miss_latency(),
         "DiCo {:.1} vs directory {:.1}",
@@ -96,7 +98,8 @@ fn claim_miss_latency_reduction() {
 #[test]
 fn claim_dedup_savings_direction() {
     let cfg = SystemConfig::small().with_refs(4_000);
-    let apache = cmpsim::run_benchmark(ProtocolKind::Directory, Benchmark::Apache, &cfg);
+    let apache =
+        cmpsim::run_benchmark(ProtocolKind::Directory, Benchmark::Apache, &cfg).expect("run");
     assert!(apache.dedup_savings > 0.10, "apache {}", apache.dedup_savings);
     // Analytically (all pools mapped), the profiles are calibrated to
     // Table IV; tomcatv saves the most among the scientific codes.

@@ -18,6 +18,7 @@ type Script = Vec<(usize, u64, bool)>;
 
 fn run<P: CoherenceProtocol>(proto: P, script: &Script, jitter_seed: u64) -> BTreeMap<u64, u64> {
     let mut h = Harness::new(proto);
+    h.enable_invariant_checker();
     h.jitter = Some(cmpsim_engine::SimRng::new(jitter_seed));
     for &(t, b, w) in script {
         h.push_access(t % 16, b, w);

@@ -22,6 +22,7 @@ fn tombstone_cycles_terminate() {
     // reproduces stale-pointer chases; the run draining at all is the
     // assertion (plus coherence at quiescence).
     let mut h = Harness::new(DiCo::new(ChipSpec::small()));
+    h.enable_invariant_checker();
     for round in 0..15 {
         for &w in &[0usize, 5, 10] {
             h.push_access(w, B, true);
@@ -42,6 +43,7 @@ fn tombstone_cycles_terminate() {
 #[test]
 fn requests_park_at_owner_to_be() {
     let mut h = Harness::new(Providers::new(ChipSpec::small()));
+    h.enable_invariant_checker();
     // Slow network makes the in-flight window wide.
     h.net_latency = 40;
     h.push_access(0, B, true);
@@ -62,6 +64,7 @@ fn requests_park_at_owner_to_be() {
 fn stale_fills_are_not_installed() {
     for seed in 0..8u64 {
         let mut h = Harness::new(DiCo::new(ChipSpec::small()));
+        h.enable_invariant_checker();
         h.jitter = Some(SimRng::new(seed));
         h.push_access(0, B, true);
         h.run_checked(5_000);
@@ -88,6 +91,7 @@ fn stale_fills_are_not_installed() {
 #[test]
 fn early_recall_is_parked() {
     let mut h = Harness::new(DiCo::new(ChipSpec::small()));
+    h.enable_invariant_checker();
     h.net_latency = 30;
     // Fill home 4's L2C$ set (aux_home: 8 sets x 2 ways, shift 4):
     // blocks 4 + 256k all land in L2C$ set 0 of bank 4.
@@ -112,6 +116,7 @@ fn early_recall_is_parked() {
 fn provider_repair_leaves_no_orphans() {
     for seed in 0..6u64 {
         let mut h = Harness::new(Providers::new(ChipSpec::small()));
+        h.enable_invariant_checker();
         h.jitter = Some(SimRng::new(0x5151 + seed));
         h.push_access(0, B, true);
         h.run_checked(5_000);
@@ -139,6 +144,7 @@ fn provider_repair_leaves_no_orphans() {
 #[test]
 fn broadcast_unblock_releases_parked_requests() {
     let mut h = Harness::new(Arin::new(ChipSpec::small()));
+    h.enable_invariant_checker();
     h.net_latency = 25;
     // SBA block with providers in several areas.
     h.push_access(0, B, true);
@@ -161,6 +167,7 @@ fn broadcast_unblock_releases_parked_requests() {
 #[test]
 fn directory_forward_eviction_crossing() {
     let mut h = Harness::new(Directory::new(ChipSpec::small()));
+    h.enable_invariant_checker();
     h.net_latency = 35;
     h.push_access(0, B, true); // M owner
     h.run_checked(8_000);
@@ -180,6 +187,7 @@ fn directory_forward_eviction_crossing() {
 fn adversarial_latency_mix() {
     fn run<P: CoherenceProtocol>(proto: P, seed: u64) {
         let mut h = Harness::new(proto);
+        h.enable_invariant_checker();
         h.net_latency = 50;
         h.mem_latency = 500;
         random_stress(&mut h, seed, 25, 10, 0.45);

@@ -223,7 +223,7 @@ fn t2_owner_eviction_to_home() {
     h.push_access(0, B + 512, false);
     h.run_checked(8_000);
     let snap = h.proto.snapshot();
-    assert!(snap.l1[0].get(&B).is_none());
+    assert!(!snap.l1[0].contains_key(&B));
     let l2 = snap.l2.get(&B).expect("home must hold the block");
     assert!(l2.has_data && l2.dirty);
     assert_eq!(l2.version, 1);
