@@ -1,0 +1,37 @@
+//! Overhead of the observability layers: the same reduced run with the
+//! coherence tracer and the interval sampler off (the default
+//! allocation-free hot path) and on. With both disabled the per-event
+//! cost is a pair of `Option` tests, so "baseline" and the seed's
+//! numbers should be indistinguishable; the enabled variants bound what
+//! `--trace-out`/`--interval` cost.
+
+use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_observability(c: &mut Criterion) {
+    let base = SystemConfig::paper().with_refs(1_000);
+    let variants: [(&str, SystemConfig); 4] = [
+        ("baseline", base.clone()),
+        ("tracing", base.clone().with_tracing()),
+        ("interval", base.clone().with_interval(5_000)),
+        ("both", base.clone().with_tracing().with_interval(5_000)),
+    ];
+    let mut g = c.benchmark_group("observability_overhead_apache_1k_refs");
+    g.sample_size(10);
+    for (name, cfg) in &variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, cfg)
+                        .expect("run")
+                        .cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

@@ -8,14 +8,18 @@
 
 use cmpsim::report::{pct_delta, table};
 use cmpsim::{run_matrix, Benchmark, ProtocolKind, SystemConfig};
+use cmpsim_bench::{obs_from_env, write_observability};
 
 fn main() {
     let refs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
-    let mut cfg = SystemConfig::paper().with_refs(refs);
+    let mut cfg = obs_from_env(SystemConfig::paper().with_refs(refs));
     cfg.num_vms = 1; // one application on all 64 cores; areas stay hard-wired
     println!("== Single application on all 64 cores (4 hard-wired areas) ==\n");
     let results =
         run_matrix(&ProtocolKind::all(), &[Benchmark::Apache], &cfg).expect("simulation failed");
+    for r in &results {
+        write_observability(r, &r.protocol.name().to_lowercase());
+    }
     let base = &results[0];
     let rows: Vec<Vec<String>> = results
         .iter()

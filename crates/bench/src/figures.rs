@@ -16,11 +16,17 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Runs the full paper matrix.
+    /// Runs the full paper matrix, writing any environment-requested
+    /// observability artifacts per cell (see
+    /// [`crate::write_observability`]).
     pub fn run(cfg: &SystemConfig) -> Self {
         let benchmarks = Benchmark::all().to_vec();
         let protocols = ProtocolKind::all().to_vec();
         let results = run_matrix(&protocols, &benchmarks, cfg).expect("simulation failed");
+        for r in &results {
+            let tag = format!("{}-{}", r.protocol.name().to_lowercase(), r.benchmark.name());
+            crate::write_observability(r, &tag);
+        }
         Self { benchmarks, protocols, results }
     }
 

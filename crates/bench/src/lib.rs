@@ -16,9 +16,58 @@ pub fn refs_from_args() -> u64 {
         .unwrap_or(60_000)
 }
 
-/// The standard report configuration (paper chip + CLI reference budget).
+/// The standard report configuration (paper chip + CLI reference
+/// budget + the observability environment knobs).
 pub fn report_config() -> SystemConfig {
-    SystemConfig::paper().with_refs(refs_from_args())
+    obs_from_env(SystemConfig::paper().with_refs(refs_from_args()))
+}
+
+/// Applies the observability environment knobs:
+/// `CMPSIM_INTERVAL=<cycles>` turns on interval time-series sampling,
+/// `CMPSIM_TRACE_OUT=<file>` turns on coherence-transaction tracing.
+/// Runs made with the returned config should pass through
+/// [`write_observability`] so the requested files actually land.
+pub fn obs_from_env(mut cfg: SystemConfig) -> SystemConfig {
+    if let Some(n) = std::env::var("CMPSIM_INTERVAL").ok().and_then(|s| s.parse().ok()) {
+        cfg = cfg.with_interval(n);
+    }
+    if std::env::var_os("CMPSIM_TRACE_OUT").is_some() {
+        cfg = cfg.with_tracing();
+    }
+    cfg
+}
+
+/// Writes the environment-requested observability artifacts of one run:
+/// the Chrome trace to `CMPSIM_TRACE_OUT` and the interval series next
+/// to it (`<trace>.series.csv`) or to `CMPSIM_SERIES_OUT`. `tag`
+/// distinguishes runs within one report (protocol/benchmark cell);
+/// it is inserted before the file extension.
+pub fn write_observability(r: &RunResult, tag: &str) {
+    let suffixed = |path: &str| match path.rsplit_once('.') {
+        Some((stem, ext)) if !tag.is_empty() => format!("{stem}-{tag}.{ext}"),
+        _ if !tag.is_empty() => format!("{path}-{tag}"),
+        _ => path.to_string(),
+    };
+    if let (Ok(path), Some(t)) = (std::env::var("CMPSIM_TRACE_OUT"), r.trace.as_ref()) {
+        let path = suffixed(&path);
+        let label = format!("{} on {}", r.protocol.name(), r.benchmark.name());
+        if let Err(e) = std::fs::write(&path, t.to_chrome_json(&label)) {
+            eprintln!("warning: cannot write trace to {path}: {e}");
+        } else {
+            eprintln!("trace written to {path}");
+        }
+    }
+    if let Some(ts) = &r.timeseries {
+        if let Ok(path) = std::env::var("CMPSIM_SERIES_OUT") {
+            let path = suffixed(&path);
+            let body = if path.ends_with(".csv") { ts.to_csv() } else { ts.to_json() };
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write time-series to {path}: {e}");
+            } else {
+                eprintln!("time-series written to {path}");
+            }
+        }
+    }
 }
 
 /// Formats a normalized series as percentages of the first element.

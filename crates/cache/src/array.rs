@@ -40,6 +40,11 @@ impl<T> SetAssoc<T> {
         self.sets.iter().map(|s| s.len()).sum()
     }
 
+    /// Total line capacity (sets x ways), for occupancy reporting.
+    pub fn capacity(&self) -> usize {
+        self.geom.entries()
+    }
+
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.sets.iter().all(|s| s.is_empty())

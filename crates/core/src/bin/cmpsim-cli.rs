@@ -2,12 +2,26 @@
 //!
 //! ```text
 //! cmpsim-cli run  [--protocol P] [--benchmark B] [--refs N] [--alt] [--seed S]
-//!                 [--max-events N] [--check]
-//! cmpsim-cli matrix [--refs N] [--alt]          # all protocols x one benchmark set
+//!                 [--max-events N] [--check] [observability flags]
+//! cmpsim-cli stats [run options]                # run + full metrics registry dump
+//! cmpsim-cli matrix [--refs N] [--alt] [...]    # all protocols x one benchmark set
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
 //! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
+//!
+//! Observability flags (run / stats / matrix):
+//!
+//! ```text
+//! --trace-out <file>    record the coherence-transaction trace and
+//!                       write Chrome trace-event JSON (Perfetto-loadable)
+//! --interval <cycles>   sample an interval time-series every N cycles
+//! --series-out <file>   write the time-series (.csv -> CSV, else JSON)
+//! --metrics-out <file>  write the unified metrics registry as JSON
+//! ```
+//!
+//! `matrix` writes one file per cell, suffixing the protocol name
+//! before the extension.
 //!
 //! Protocols: directory | dico | providers | arin.
 //! Benchmarks: apache | jbb | radix | lu | volrend | tomcatv |
@@ -23,7 +37,7 @@
 use cmpsim::report::table;
 use cmpsim::{
     run_benchmark, run_matrix, Benchmark, CmpSimulator, MissClass, Placement, ProtocolKind,
-    ReplayArtifact, SimError, SystemConfig,
+    ReplayArtifact, RunResult, SimError, SystemConfig,
 };
 use cmpsim_power::{leakage_per_tile, overhead_percent};
 use std::path::Path;
@@ -60,6 +74,10 @@ struct Options {
     alt: bool,
     max_events: Option<u64>,
     check: bool,
+    trace_out: Option<String>,
+    interval: Option<u64>,
+    series_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -71,6 +89,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         alt: false,
         max_events: None,
         check: false,
+        trace_out: None,
+        interval: None,
+        series_out: None,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -98,6 +120,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.max_events = Some(v.parse().map_err(|_| format!("bad event budget {v}"))?);
             }
             "--check" => o.check = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file path")?;
+                o.trace_out = Some(v.clone());
+            }
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs a cycle count")?;
+                o.interval = Some(v.parse().map_err(|_| format!("bad interval {v}"))?);
+            }
+            "--series-out" => {
+                let v = it.next().ok_or("--series-out needs a file path")?;
+                o.series_out = Some(v.clone());
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a file path")?;
+                o.metrics_out = Some(v.clone());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -115,7 +153,58 @@ fn config(o: &Options) -> SystemConfig {
     if o.check {
         cfg = cfg.with_invariant_checks();
     }
+    if o.trace_out.is_some() {
+        cfg = cfg.with_tracing();
+    }
+    if let Some(n) = o.interval {
+        cfg = cfg.with_interval(n);
+    }
     cfg
+}
+
+/// Inserts `tag` before the extension: `out.json` -> `out-dico.json`.
+fn suffixed(path: &str, tag: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}-{tag}.{ext}"),
+        None => format!("{path}-{tag}"),
+    }
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{what}: {path}");
+}
+
+/// Writes the per-run observability artifacts the flags asked for.
+/// `tag` distinguishes matrix cells (None for single runs).
+fn write_outputs(o: &Options, r: &RunResult, tag: Option<&str>) {
+    let name = |p: &str| tag.map_or_else(|| p.to_string(), |t| suffixed(p, t));
+    if let Some(p) = &o.trace_out {
+        let t = r.trace.as_ref().expect("tracing enabled by --trace-out");
+        let label = format!("{} on {}", r.protocol.name(), r.benchmark.name());
+        println!(
+            "trace: {} transactions, {} events buffered ({} dropped), {} hops attributed",
+            t.completed_txs,
+            t.ring.len(),
+            t.ring.dropped(),
+            t.tx_hops
+        );
+        write_file(&name(p), &t.to_chrome_json(&label), "trace");
+    }
+    if let Some(ts) = &r.timeseries {
+        println!("time-series: {} samples of {} cycles", ts.samples.len(), ts.interval);
+        if let Some(p) = &o.series_out {
+            let p = name(p);
+            let body = if p.ends_with(".csv") { ts.to_csv() } else { ts.to_json() };
+            write_file(&p, &body, "time-series");
+        }
+    }
+    if let Some(p) = &o.metrics_out {
+        write_file(&name(p), &r.metrics_json(), "metrics");
+    }
 }
 
 /// Prints a simulation failure and exits (the replay artifact path is
@@ -144,6 +233,24 @@ fn cmd_run(o: &Options) {
     for class in MissClass::all() {
         println!("    {:<18} {:>6.1}%", class.label(), 100.0 * r.miss_class_frac(class));
     }
+    write_outputs(o, &r, None);
+}
+
+/// `stats`: one run, then the full metrics registry, one line per
+/// metric (hierarchical names, sorted).
+fn cmd_stats(o: &Options) {
+    let r = run_benchmark(o.protocol, o.benchmark, &config(o)).unwrap_or_else(|e| bail(e));
+    println!(
+        "{} on {}{} ({} refs/core, seed {})",
+        r.protocol.name(),
+        r.benchmark.name(),
+        r.placement.suffix(),
+        o.refs,
+        o.seed
+    );
+    println!();
+    print!("{}", r.metrics().dump());
+    write_outputs(o, &r, None);
 }
 
 fn cmd_matrix(o: &Options) {
@@ -172,6 +279,10 @@ fn cmd_matrix(o: &Options) {
             &rows
         )
     );
+    for r in &results {
+        let tag = r.protocol.name().to_lowercase();
+        write_outputs(o, r, Some(&tag));
+    }
 }
 
 fn cmd_tables() {
@@ -264,7 +375,7 @@ fn main() {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: cmpsim-cli <run|matrix|tables|replay|list> [options]");
+            eprintln!("usage: cmpsim-cli <run|stats|matrix|tables|replay|list> [options]");
             std::process::exit(2);
         }
     };
@@ -294,21 +405,19 @@ fn main() {
                 }
             }
         }
-        "run" | "matrix" => match parse_options(rest) {
-            Ok(o) => {
-                if cmd == "run" {
-                    cmd_run(&o)
-                } else {
-                    cmd_matrix(&o)
-                }
-            }
+        "run" | "matrix" | "stats" => match parse_options(rest) {
+            Ok(o) => match cmd {
+                "run" => cmd_run(&o),
+                "stats" => cmd_stats(&o),
+                _ => cmd_matrix(&o),
+            },
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
         },
         other => {
-            eprintln!("unknown command {other}; try run, matrix, tables, replay, list");
+            eprintln!("unknown command {other}; try run, stats, matrix, tables, replay, list");
             std::process::exit(2);
         }
     }

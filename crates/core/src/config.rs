@@ -42,6 +42,20 @@ pub struct SystemConfig {
     /// bound, owner-pointer consistency at quiescence). Roughly an order
     /// of magnitude slower — a debugging tool, not a default.
     pub check_invariants: bool,
+    /// Record the coherence-transaction trace (issue → lookup → forward
+    /// → data → completion, with per-hop NoC latency) into a bounded
+    /// ring buffer, exportable as Chrome trace-event JSON. Observability
+    /// only: the simulated timing is identical with or without it.
+    pub tracing: bool,
+    /// Capacity of the trace ring buffer (events). When full, the
+    /// oldest events are dropped (and counted), keeping memory bounded
+    /// on long runs while preserving the tail.
+    pub trace_capacity: usize,
+    /// Interval time-series sampling: every `N` cycles of the measured
+    /// (post-warm-up) window, snapshot link utilization, cache
+    /// occupancy, directory/owner-cache hit rates and dynamic+static
+    /// energy. `None` disables sampling.
+    pub sample_interval: Option<u64>,
 }
 
 impl SystemConfig {
@@ -63,6 +77,9 @@ impl SystemConfig {
             max_events: None,
             stall_window: 1_000_000,
             check_invariants: false,
+            tracing: false,
+            trace_capacity: 65_536,
+            sample_interval: None,
         }
     }
 
@@ -83,6 +100,9 @@ impl SystemConfig {
             max_events: None,
             stall_window: 1_000_000,
             check_invariants: false,
+            tracing: false,
+            trace_capacity: 65_536,
+            sample_interval: None,
         }
     }
 
@@ -125,6 +145,27 @@ impl SystemConfig {
     /// Returns a copy with the per-message invariant checker enabled.
     pub fn with_invariant_checks(mut self) -> Self {
         self.check_invariants = true;
+        self
+    }
+
+    /// Returns a copy with coherence-transaction tracing enabled.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Returns a copy with a different trace ring-buffer capacity
+    /// (implies tracing).
+    pub fn with_trace_capacity(mut self, events: usize) -> Self {
+        self.tracing = true;
+        self.trace_capacity = events.max(1);
+        self
+    }
+
+    /// Returns a copy with interval time-series sampling every `cycles`
+    /// cycles of the measured window.
+    pub fn with_interval(mut self, cycles: u64) -> Self {
+        self.sample_interval = Some(cycles.max(1));
         self
     }
 

@@ -107,6 +107,9 @@ pub struct StallReport {
     /// Blocks with the most in-flight traffic, with each controller's
     /// view of them.
     pub hot_blocks: Vec<HotBlock>,
+    /// The last few coherence-trace events before the stall (rendered
+    /// lines; empty unless the run had tracing enabled).
+    pub trace_tail: Vec<String>,
     /// Replay artifact written for this failure, if any.
     pub artifact: Option<PathBuf>,
 }
@@ -248,6 +251,12 @@ impl fmt::Display for SimError {
                         for v in &hb.views {
                             writeln!(f, "    {v}")?;
                         }
+                    }
+                }
+                if !r.trace_tail.is_empty() {
+                    writeln!(f, "recent trace events:")?;
+                    for line in &r.trace_tail {
+                        writeln!(f, "  {line}")?;
                     }
                 }
                 if !r.pending_summary.is_empty() {

@@ -1,0 +1,405 @@
+//! Interval time-series sampling.
+//!
+//! When [`SystemConfig::sample_interval`](crate::SystemConfig) is set,
+//! the simulator snapshots the chip every `N` cycles of the measured
+//! (post-warm-up) window: link utilization, cache occupancy, prediction
+//! and home (directory / owner-cache) hit rates, and dynamic + static
+//! energy. Each sample is a *delta* over its interval, so the series
+//! integrates back to the end-of-run totals, and a final partial sample
+//! covers the tail when the run does not end on an interval boundary.
+//!
+//! Samples are taken at the first processed event at or after each
+//! boundary — the event loop only observes time at event granularity —
+//! so a sample labelled `[start, end)` may include the counters of one
+//! event past `end`. The slop is bounded by a single event and the
+//! series stays deterministic.
+
+use crate::replay::Value;
+use cmpsim_engine::Cycle;
+use cmpsim_protocols::Occupancy;
+use std::fmt::Write as _;
+
+/// The cumulative counter snapshot a sample is diffed against.
+#[derive(Debug, Clone, Default)]
+pub struct CumSnapshot {
+    /// NoC messages sent.
+    pub messages: u64,
+    /// Per-router routing events (link traversals).
+    pub hops: u64,
+    /// Flit-link traversals.
+    pub flit_links: u64,
+    /// Link contention stall cycles.
+    pub contention: u64,
+    /// Per-directed-link busy flit counts (`Mesh::link_busy`).
+    pub link_busy: Vec<u64>,
+    /// Predictor lookups / hits (DiCo family).
+    pub pred_lookups: u64,
+    /// Predictor hits.
+    pub pred_hits: u64,
+    /// Ordering-point (directory / L2C$) lookups.
+    pub home_lookups: u64,
+    /// Ordering-point hits.
+    pub home_hits: u64,
+    /// References retired across all cores.
+    pub refs: u64,
+    /// Cumulative cache dynamic energy (nJ).
+    pub cache_nj: f64,
+    /// Cumulative network dynamic energy (nJ).
+    pub net_nj: f64,
+}
+
+/// One interval's worth of activity.
+#[derive(Debug, Clone)]
+pub struct IntervalSample {
+    /// First cycle of the interval.
+    pub start: Cycle,
+    /// One past the last cycle of the interval.
+    pub end: Cycle,
+    /// References retired in the interval.
+    pub refs: u64,
+    /// NoC messages sent.
+    pub messages: u64,
+    /// Link traversals (routing events).
+    pub hops: u64,
+    /// Flit-link traversals.
+    pub flit_links: u64,
+    /// Link contention stall cycles.
+    pub contention: u64,
+    /// Mean utilization over all physical directed links, in `[0, 1]`.
+    pub link_util_mean: f64,
+    /// Utilization of the busiest directed link.
+    pub link_util_max: f64,
+    /// L1 fill fraction at the sample point.
+    pub l1_occ: f64,
+    /// L2 fill fraction at the sample point.
+    pub l2_occ: f64,
+    /// Auxiliary-structure fill fraction at the sample point.
+    pub aux_occ: f64,
+    /// Predictor lookups in the interval.
+    pub pred_lookups: u64,
+    /// Predictor hits in the interval.
+    pub pred_hits: u64,
+    /// Ordering-point lookups in the interval.
+    pub home_lookups: u64,
+    /// Ordering-point hits in the interval.
+    pub home_hits: u64,
+    /// Cache dynamic energy spent in the interval (nJ).
+    pub cache_nj: f64,
+    /// Network dynamic energy spent in the interval (nJ).
+    pub net_nj: f64,
+    /// Static (leakage) energy over the interval (nJ).
+    pub static_nj: f64,
+}
+
+impl IntervalSample {
+    /// Cycles the interval covers.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Total energy (dynamic + static) of the interval (nJ).
+    pub fn total_nj(&self) -> f64 {
+        self.cache_nj + self.net_nj + self.static_nj
+    }
+}
+
+/// Collects [`IntervalSample`]s over the measured window.
+#[derive(Debug, Clone)]
+pub struct IntervalSampler {
+    interval: u64,
+    /// Start of the interval being accumulated.
+    window_start: Cycle,
+    /// Next boundary a sample is due at.
+    next_boundary: Cycle,
+    prev: CumSnapshot,
+    /// Per-tile static power in mW (1 GHz: 1 mW = 1 pJ/cycle).
+    static_mw_per_tile: f64,
+    tiles: u64,
+    /// Physical directed links (mean-utilization denominator).
+    links: usize,
+    samples: Vec<IntervalSample>,
+}
+
+impl IntervalSampler {
+    /// Creates a sampler whose first interval starts at `start` (the
+    /// warm-up boundary, right after the stat reset — `base` is the
+    /// cumulative snapshot at that point, normally all zeros).
+    pub fn new(
+        interval: u64,
+        start: Cycle,
+        base: CumSnapshot,
+        static_mw_per_tile: f64,
+        tiles: u64,
+        links: usize,
+    ) -> Self {
+        let interval = interval.max(1);
+        Self {
+            interval,
+            window_start: start,
+            next_boundary: start + interval,
+            prev: base,
+            static_mw_per_tile,
+            tiles,
+            links: links.max(1),
+            samples: Vec::new(),
+        }
+    }
+
+    /// True when `now` has reached the next boundary (caller should
+    /// take a snapshot and call [`Self::sample`]).
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_boundary
+    }
+
+    /// Closes the interval `[window_start, end)` against `cum` and
+    /// opens the next one.
+    fn close(&mut self, end: Cycle, cum: &CumSnapshot, occ: &Occupancy) {
+        let dur = end.saturating_sub(self.window_start).max(1);
+        let busy_dt: Vec<u64> = cum
+            .link_busy
+            .iter()
+            .zip(self.prev.link_busy.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let total_busy: u64 = busy_dt.iter().sum();
+        let max_busy = busy_dt.iter().copied().max().unwrap_or(0);
+        self.samples.push(IntervalSample {
+            start: self.window_start,
+            end,
+            refs: cum.refs - self.prev.refs,
+            messages: cum.messages - self.prev.messages,
+            hops: cum.hops - self.prev.hops,
+            flit_links: cum.flit_links - self.prev.flit_links,
+            contention: cum.contention - self.prev.contention,
+            link_util_mean: total_busy as f64 / (self.links as u64 * dur) as f64,
+            link_util_max: max_busy as f64 / dur as f64,
+            l1_occ: occ.l1_frac(),
+            l2_occ: occ.l2_frac(),
+            aux_occ: occ.aux_frac(),
+            pred_lookups: cum.pred_lookups - self.prev.pred_lookups,
+            pred_hits: cum.pred_hits - self.prev.pred_hits,
+            home_lookups: cum.home_lookups - self.prev.home_lookups,
+            home_hits: cum.home_hits - self.prev.home_hits,
+            cache_nj: cum.cache_nj - self.prev.cache_nj,
+            net_nj: cum.net_nj - self.prev.net_nj,
+            static_nj: self.static_mw_per_tile * self.tiles as f64 * dur as f64 * 1e-3,
+        });
+        self.prev = cum.clone();
+        self.window_start = end;
+    }
+
+    /// Takes the sample(s) due at `now`. Quiet stretches spanning
+    /// several boundaries produce one sample per boundary, so the
+    /// series has no gaps.
+    pub fn sample(&mut self, now: Cycle, cum: &CumSnapshot, occ: &Occupancy) {
+        while now >= self.next_boundary {
+            let end = self.next_boundary;
+            self.close(end, cum, occ);
+            self.next_boundary += self.interval;
+        }
+    }
+
+    /// Ends the series at `now`, emitting a final partial sample when
+    /// the run stopped mid-interval.
+    pub fn finish(mut self, now: Cycle, cum: &CumSnapshot, occ: &Occupancy) -> TimeSeries {
+        self.sample(now, cum, occ);
+        if now > self.window_start {
+            self.close(now, cum, occ);
+        }
+        TimeSeries { interval: self.interval, samples: self.samples }
+    }
+}
+
+/// The exported per-interval series of one run.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// The configured sampling interval (the last sample may be
+    /// shorter).
+    pub interval: u64,
+    /// Samples in time order, covering the measured window end to end.
+    pub samples: Vec<IntervalSample>,
+}
+
+/// CSV column headers, in emission order.
+const CSV_HEADER: &str = "start,end,cycles,refs,messages,hops,flit_links,contention_cycles,\
+link_util_mean,link_util_max,l1_occ,l2_occ,aux_occ,\
+pred_lookups,pred_hits,home_lookups,home_hits,\
+cache_dyn_nj,net_dyn_nj,static_nj,total_nj";
+
+impl TimeSeries {
+    /// Renders the series as CSV (deterministic, one row per sample).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},\
+                 {:.3},{:.3},{:.3},{:.3}",
+                s.start,
+                s.end,
+                s.cycles(),
+                s.refs,
+                s.messages,
+                s.hops,
+                s.flit_links,
+                s.contention,
+                s.link_util_mean,
+                s.link_util_max,
+                s.l1_occ,
+                s.l2_occ,
+                s.aux_occ,
+                s.pred_lookups,
+                s.pred_hits,
+                s.home_lookups,
+                s.home_hits,
+                s.cache_nj,
+                s.net_nj,
+                s.static_nj,
+                s.total_nj(),
+            );
+        }
+        out
+    }
+
+    /// Renders the series as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut j = Value::object();
+        j.set("interval", Value::uint(self.interval));
+        let rows = self
+            .samples
+            .iter()
+            .map(|s| {
+                let mut r = Value::object();
+                r.set("start", Value::uint(s.start));
+                r.set("end", Value::uint(s.end));
+                r.set("refs", Value::uint(s.refs));
+                r.set("messages", Value::uint(s.messages));
+                r.set("hops", Value::uint(s.hops));
+                r.set("flit_links", Value::uint(s.flit_links));
+                r.set("contention_cycles", Value::uint(s.contention));
+                r.set("link_util_mean", Value::float(s.link_util_mean));
+                r.set("link_util_max", Value::float(s.link_util_max));
+                r.set("l1_occ", Value::float(s.l1_occ));
+                r.set("l2_occ", Value::float(s.l2_occ));
+                r.set("aux_occ", Value::float(s.aux_occ));
+                r.set("pred_lookups", Value::uint(s.pred_lookups));
+                r.set("pred_hits", Value::uint(s.pred_hits));
+                r.set("home_lookups", Value::uint(s.home_lookups));
+                r.set("home_hits", Value::uint(s.home_hits));
+                r.set("cache_dyn_nj", Value::float(s.cache_nj));
+                r.set("net_dyn_nj", Value::float(s.net_nj));
+                r.set("static_nj", Value::float(s.static_nj));
+                r
+            })
+            .collect();
+        j.set("samples", Value::Arr(rows));
+        let mut out = String::new();
+        j.render_to(&mut out);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cum(refs: u64, hops: u64, busy: Vec<u64>) -> CumSnapshot {
+        CumSnapshot {
+            messages: hops / 2,
+            hops,
+            flit_links: hops * 3,
+            contention: 0,
+            link_busy: busy,
+            pred_lookups: refs / 10,
+            pred_hits: refs / 20,
+            home_lookups: refs / 5,
+            home_hits: refs / 10,
+            refs,
+            cache_nj: refs as f64 * 0.5,
+            net_nj: hops as f64 * 0.1,
+        }
+    }
+
+    #[test]
+    fn samples_are_deltas() {
+        let mut s = IntervalSampler::new(100, 1000, CumSnapshot::default(), 200.0, 4, 8);
+        assert!(!s.due(1099));
+        assert!(s.due(1100));
+        s.sample(1100, &cum(40, 80, vec![40; 8]), &Occupancy::default());
+        s.sample(1200, &cum(100, 200, vec![100; 8]), &Occupancy::default());
+        let ts = s.finish(1200, &cum(100, 200, vec![100; 8]), &Occupancy::default());
+        assert_eq!(ts.samples.len(), 2);
+        assert_eq!(ts.samples[0].refs, 40);
+        assert_eq!(ts.samples[1].refs, 60);
+        assert_eq!(ts.samples[1].hops, 120);
+        // 40 busy flit-cycles per link over a 100-cycle interval.
+        assert!((ts.samples[0].link_util_mean - 0.4).abs() < 1e-12);
+        assert!((ts.samples[0].link_util_max - 0.4).abs() < 1e-12);
+        // 200 mW x 4 tiles x 100 cycles = 80 nJ of leakage.
+        assert!((ts.samples[0].static_nj - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_partial_sample_covers_the_tail() {
+        let mut s = IntervalSampler::new(100, 0, CumSnapshot::default(), 0.0, 1, 4);
+        s.sample(100, &cum(10, 20, vec![5; 4]), &Occupancy::default());
+        let ts = s.finish(130, &cum(16, 24, vec![8; 4]), &Occupancy::default());
+        assert_eq!(ts.samples.len(), 2);
+        let tail = &ts.samples[1];
+        assert_eq!((tail.start, tail.end), (100, 130));
+        assert_eq!(tail.cycles(), 30);
+        assert_eq!(tail.refs, 6);
+        assert_eq!(tail.hops, 4);
+    }
+
+    #[test]
+    fn series_integrates_to_totals() {
+        let mut s = IntervalSampler::new(50, 0, CumSnapshot::default(), 100.0, 2, 4);
+        for t in 1..=7 {
+            s.sample(t * 50, &cum(t * 9, t * 13, vec![t; 4]), &Occupancy::default());
+        }
+        let last = cum(80, 100, vec![9; 4]);
+        let ts = s.finish(371, &last, &Occupancy::default());
+        assert_eq!(ts.samples.iter().map(|x| x.refs).sum::<u64>(), 80);
+        assert_eq!(ts.samples.iter().map(|x| x.hops).sum::<u64>(), 100);
+        assert_eq!(ts.samples.last().unwrap().end, 371);
+        // Static energy integrates over the whole covered window.
+        let static_total: f64 = ts.samples.iter().map(|x| x.static_nj).sum();
+        assert!((static_total - 100.0 * 2.0 * 371.0 * 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_stretches_emit_empty_samples() {
+        let mut s = IntervalSampler::new(10, 0, CumSnapshot::default(), 0.0, 1, 4);
+        // One event at cycle 35 crosses three boundaries at once.
+        s.sample(35, &cum(5, 5, vec![1; 4]), &Occupancy::default());
+        let ts = s.finish(35, &cum(5, 5, vec![1; 4]), &Occupancy::default());
+        assert_eq!(ts.samples.len(), 4);
+        // All activity lands in the first closed interval; the rest are
+        // zero-delta fillers.
+        assert_eq!(ts.samples[0].refs, 5);
+        assert!(ts.samples[1..].iter().all(|x| x.refs == 0 && x.hops == 0));
+    }
+
+    #[test]
+    fn csv_and_json_shape() {
+        let mut s = IntervalSampler::new(10, 0, CumSnapshot::default(), 0.0, 1, 4);
+        s.sample(5, &cum(2, 3, vec![1; 4]), &Occupancy::default());
+        let ts = s.finish(10, &cum(5, 8, vec![2; 4]), &Occupancy::default());
+        let csv = ts.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("start,end,cycles,refs"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), header.split(',').count());
+        let json = ts.to_json();
+        let v = Value::parse(&json).expect("valid json");
+        assert_eq!(v.field("interval").unwrap().as_u64().unwrap(), 10);
+        match v.field("samples").unwrap() {
+            Value::Arr(rows) => assert_eq!(rows.len(), 1),
+            other => panic!("samples not an array: {other:?}"),
+        }
+    }
+}

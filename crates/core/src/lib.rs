@@ -40,19 +40,37 @@
 //! message) return a typed [`SimError`] with a structured dump and a
 //! JSON replay artifact instead of spinning forever — see [`error`]
 //! and [`replay`].
+//!
+//! # Observability
+//!
+//! Every run's stats publish into a unified [`MetricsRegistry`]
+//! ([`RunResult::metrics`]); opt-in extras record a coherence
+//! transaction trace ([`SystemConfig::with_tracing`], exported as
+//! Chrome trace-event JSON via [`trace`]) and an interval time-series
+//! ([`SystemConfig::with_interval`], exported as CSV/JSON via
+//! [`interval`]). Both are observation-only: simulated timing is
+//! identical with them on or off.
 
 pub mod config;
 pub mod error;
+pub mod interval;
 pub mod replay;
 pub mod report;
 pub mod result;
 pub mod sim;
+pub mod trace;
 
 pub use config::SystemConfig;
 pub use error::{SimError, StallReason};
+pub use interval::{IntervalSample, IntervalSampler, TimeSeries};
 pub use replay::ReplayArtifact;
 pub use result::RunResult;
 pub use sim::{build_protocol, run_benchmark, run_matrix, CmpSimulator};
+pub use trace::{TraceLog, TxTracer};
+
+// Re-export the registry types so downstream binaries need not depend
+// on cmpsim-engine directly.
+pub use cmpsim_engine::{MetricSource, MetricsRegistry};
 
 // Re-export the pieces callers need to drive experiments.
 pub use cmpsim_protocols::{MissClass, ProtocolKind};

@@ -291,6 +291,12 @@ fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
         max_events,
         stall_window: v.field("stall_window")?.as_u64()?,
         check_invariants: v.field("check_invariants")?.as_bool()?,
+        // Observability knobs don't affect simulated timing, so they are
+        // not serialized (the schema stays at v1); replays run with them
+        // off and the CLI can re-enable them explicitly.
+        tracing: false,
+        trace_capacity: 65_536,
+        sample_interval: None,
     })
 }
 
@@ -388,6 +394,12 @@ impl Value {
             Value::Str(s) => Ok(s),
             other => Err(format!("expected a string, found {other:?}")),
         }
+    }
+
+    /// Renders the value into `out` (pretty-printed, two-space
+    /// indentation) — the entry point other exporters reuse.
+    pub fn render_to(&self, out: &mut String) {
+        self.render(out, 0);
     }
 
     /// Pretty-prints with two-space indentation.

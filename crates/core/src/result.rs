@@ -1,6 +1,9 @@
 //! Results of one simulation run, with the derived metrics every report
 //! uses.
 
+use crate::interval::TimeSeries;
+use crate::trace::TraceLog;
+use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
 use cmpsim_engine::Cycle;
 use cmpsim_noc::NocStats;
 use cmpsim_power::{CacheEnergy, EnergyModel, NetworkEnergy};
@@ -36,6 +39,10 @@ pub struct RunResult {
     pub net_energy: NetworkEnergy,
     /// Memory saved by deduplication (Table IV metric).
     pub dedup_savings: f64,
+    /// Interval time-series, when sampling was enabled.
+    pub timeseries: Option<TimeSeries>,
+    /// Coherence-transaction trace, when tracing was enabled.
+    pub trace: Option<TraceLog>,
 }
 
 impl RunResult {
@@ -69,7 +76,42 @@ impl RunResult {
             proto_stats: proto_stats.clone(),
             noc_stats: noc_stats.clone(),
             dedup_savings,
+            timeseries: None,
+            trace: None,
         }
+    }
+
+    /// Publishes every measured quantity into one hierarchically named
+    /// [`MetricsRegistry`] — the unified export surface behind
+    /// `cmpsim-cli stats` and `--metrics-out`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("sim.cycles", self.cycles);
+        reg.set_counter("sim.measured_refs", self.measured_refs);
+        reg.set_gauge("sim.throughput", self.throughput());
+        reg.set_gauge("sim.avg_finish", self.avg_finish);
+        reg.set_gauge("sim.dedup_savings", self.dedup_savings);
+        for (i, v) in self.vm_finish.iter().enumerate() {
+            reg.set_gauge(&format!("sim.vm_finish.{i}"), *v);
+        }
+        self.proto_stats.publish("proto", &mut reg);
+        self.noc_stats.publish("noc", &mut reg);
+        self.cache_energy.publish("energy.cache", &mut reg);
+        self.net_energy.publish("energy.net", &mut reg);
+        reg.set_gauge("energy.dynamic_total_nj", self.total_dynamic_nj());
+        if let Some(t) = &self.trace {
+            reg.set_counter("trace.completed_txs", t.completed_txs);
+            reg.set_counter("trace.tx_hops", t.tx_hops);
+            reg.set_counter("trace.untracked_hops", t.untracked_hops);
+            reg.set_counter("trace.buffered_events", t.ring.len() as u64);
+            reg.set_counter("trace.dropped_events", t.ring.dropped());
+        }
+        reg
+    }
+
+    /// The registry rendered as deterministic JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
     }
 
     /// References per cycle across the whole chip (the throughput

@@ -6,8 +6,10 @@ use crate::error::{
     CoreStallState, HotBlock, InFlightMsg, InvariantReport, ProtocolFault, SimError, StallReason,
     StallReport,
 };
+use crate::interval::{CumSnapshot, IntervalSampler};
 use crate::replay::ReplayArtifact;
 use crate::result::RunResult;
+use crate::trace::TxTracer;
 use cmpsim_engine::par::par_map;
 use cmpsim_engine::{Cycle, EventQueue, SimRng};
 use cmpsim_noc::Mesh;
@@ -78,6 +80,14 @@ pub struct CmpSimulator {
     last_progress: Cycle,
     /// Per-message invariant checker (from `cfg.check_invariants`).
     checker: Option<StepChecker>,
+    /// Coherence-transaction tracer (from `cfg.tracing`).
+    tracer: Option<TxTracer>,
+    /// Interval time-series sampler; created when the warm-up window
+    /// ends (from `cfg.sample_interval`).
+    sampler: Option<IntervalSampler>,
+    /// Energy table for the sampler's cumulative dynamic-energy
+    /// snapshots (built alongside the sampler).
+    energy_model: Option<cmpsim_power::EnergyModel>,
 }
 
 impl CmpSimulator {
@@ -128,6 +138,9 @@ impl CmpSimulator {
             events: 0,
             last_progress: 0,
             checker: cfg.check_invariants.then(StepChecker::new),
+            tracer: cfg.tracing.then(|| TxTracer::new(tiles, cfg.trace_capacity)),
+            sampler: None,
+            energy_model: None,
             cfg: cfg.clone(),
         }
     }
@@ -163,6 +176,18 @@ impl CmpSimulator {
         for out in ctx.sends {
             let flits = self.flits(&out.msg.kind);
             let d = self.mesh.send(now + out.delay, out.msg.src.tile(), out.msg.dst.tile(), flits);
+            if let Some(tr) = &mut self.tracer {
+                tr.on_message(
+                    now + out.delay,
+                    d.arrival,
+                    out.msg.kind.label(),
+                    "msg",
+                    out.msg.block,
+                    out.msg.src.tile(),
+                    out.msg.dst.tile(),
+                    d.links,
+                );
+            }
             self.deliver(d.arrival, out.msg);
         }
         for b in ctx.bcasts {
@@ -172,6 +197,13 @@ impl CmpSimulator {
                 self.cfg.noc.control_flits
             };
             let arrivals = self.mesh.broadcast(now + b.delay, b.src.tile(), flits);
+            if let Some(tr) = &mut self.tracer {
+                let end = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(now + b.delay);
+                let src = b.src.tile();
+                // The spanning-tree broadcast charges tiles - 1 links.
+                let links = (self.cfg.tiles() - 1) as u64;
+                tr.on_message(now + b.delay, end, b.kind.label(), "bcast", b.block, src, src, links);
+            }
             for (t, at) in arrivals {
                 if Some(t) == b.exclude {
                     continue;
@@ -197,12 +229,37 @@ impl CmpSimulator {
             let flits =
                 if op.is_write { self.cfg.noc.data_flits } else { self.cfg.noc.control_flits };
             let d = self.mesh.send(now + op.delay, op.home, ctrl_tile, flits);
+            if let Some(tr) = &mut self.tracer {
+                let name = if op.is_write { "MemWrite" } else { "MemRead" };
+                tr.on_message(
+                    now + op.delay,
+                    d.arrival,
+                    name,
+                    "mem",
+                    op.block,
+                    op.home,
+                    ctrl_tile,
+                    d.links,
+                );
+            }
             let start = d.arrival.max(self.ctrl_free[ctrl]);
             self.ctrl_free[ctrl] = start + self.cfg.mem_service;
             if !op.is_write {
                 let ready = start + self.cfg.mem_latency + self.rng.jitter(self.cfg.mem_jitter);
                 let back =
                     self.mesh.send(ready, ctrl_tile, op.home, self.cfg.noc.data_flits);
+                if let Some(tr) = &mut self.tracer {
+                    tr.on_message(
+                        ready,
+                        back.arrival,
+                        "MemData",
+                        "mem",
+                        op.block,
+                        ctrl_tile,
+                        op.home,
+                        back.links,
+                    );
+                }
                 self.deliver(
                     back.arrival,
                     Msg {
@@ -215,6 +272,9 @@ impl CmpSimulator {
             }
         }
         for c in ctx.completions {
+            if let Some(tr) = &mut self.tracer {
+                tr.on_completion(now, c.tile);
+            }
             let core = &mut self.cores[c.tile];
             debug_assert!(core.outstanding, "completion without outstanding access");
             core.outstanding = false;
@@ -267,6 +327,11 @@ impl CmpSimulator {
             AccessOutcome::Miss => {
                 self.cores[tile].pending = None;
                 self.cores[tile].outstanding = true;
+                // Open the transaction before routing the request so
+                // its own messages attribute to it.
+                if let Some(tr) = &mut self.tracer {
+                    tr.on_issue(now, tile, block, write);
+                }
                 self.apply_ctx(now, ctx);
             }
             AccessOutcome::Blocked => {
@@ -338,6 +403,7 @@ impl CmpSimulator {
             in_flight,
             pending_summary: self.proto.pending_summary(),
             hot_blocks,
+            trace_tail: self.tracer.as_ref().map(|t| t.tail_lines(16)).unwrap_or_default(),
             artifact: None,
         }))
     }
@@ -392,6 +458,67 @@ impl CmpSimulator {
             self.refs_at_reset = total;
             self.proto.reset_stats();
             self.mesh.reset_stats();
+            // The tracer's hop accounting mirrors the NoC counters, so
+            // it resets with them (open transactions are kept).
+            if let Some(tr) = &mut self.tracer {
+                tr.reset();
+            }
+            if let Some(interval) = self.cfg.sample_interval {
+                let tiles = self.cfg.tiles() as u64;
+                let areas = self.cfg.chip.num_areas() as u64;
+                let leak = cmpsim_power::leakage_per_tile(self.proto.kind(), tiles, areas);
+                self.energy_model =
+                    Some(cmpsim_power::EnergyModel::new(self.proto.kind(), tiles, areas));
+                // The proto/NoC stats were just reset, but the per-core
+                // ref counters were not — snapshot after the resets so
+                // interval deltas cover the measurement window only.
+                let base = self.cum_snapshot();
+                self.sampler = Some(IntervalSampler::new(
+                    interval,
+                    now,
+                    base,
+                    leak.total_mw,
+                    tiles,
+                    self.mesh.directed_links(),
+                ));
+            }
+        }
+    }
+
+    /// Cumulative counter snapshot the interval sampler diffs against.
+    fn cum_snapshot(&self) -> CumSnapshot {
+        let ps = self.proto.stats();
+        let ns = self.mesh.stats();
+        let model = self.energy_model.as_ref().expect("built with the sampler");
+        CumSnapshot {
+            messages: ns.messages.get(),
+            hops: ns.routing_events.get(),
+            flit_links: ns.flit_link_traversals.get(),
+            contention: ns.contention_cycles.get(),
+            link_busy: self.mesh.link_busy().to_vec(),
+            pred_lookups: ps.pred_lookups.get(),
+            pred_hits: ps.pred_hits.get(),
+            home_lookups: ps.home_lookups.get(),
+            home_hits: ps.home_hits.get(),
+            refs: self.cores.iter().map(|c| c.refs_done).sum(),
+            cache_nj: model.cache_energy(ps).total(),
+            net_nj: model.network_energy(ns).total(),
+        }
+    }
+
+    /// Takes any interval samples due at `now`.
+    fn maybe_sample(&mut self, now: Cycle) {
+        let due = match &self.sampler {
+            Some(s) => s.due(now),
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let cum = self.cum_snapshot();
+        let occ = self.proto.occupancy();
+        if let Some(s) = &mut self.sampler {
+            s.sample(now, &cum, &occ);
         }
     }
 
@@ -443,6 +570,7 @@ impl CmpSimulator {
                 }
             }
             self.maybe_finish_warmup(now);
+            self.maybe_sample(now);
         }
         // The queue drained; anything left unfinished means a message or
         // wakeup was lost (no event remains that could ever revive it).
@@ -466,7 +594,14 @@ impl CmpSimulator {
         }
         let vm_finish: Vec<f64> =
             vm_sum.iter().zip(&vm_n).map(|(s, &n)| s / n.max(1) as f64).collect();
-        Ok(RunResult::collect(
+        // Close out the observability layers before the stats are moved.
+        let timeseries = self.sampler.take().map(|s| {
+            let cum = self.cum_snapshot();
+            let occ = self.proto.occupancy();
+            s.finish(now, &cum, &occ)
+        });
+        let trace = self.tracer.take().map(TxTracer::finish);
+        let mut result = RunResult::collect(
             self.proto.kind(),
             self.benchmark,
             self.cfg.placement,
@@ -479,7 +614,10 @@ impl CmpSimulator {
             self.proto.stats(),
             self.mesh.stats(),
             self.memory.dedup_savings(),
-        ))
+        );
+        result.timeseries = timeseries;
+        result.trace = trace;
+        Ok(result)
     }
 }
 

@@ -15,6 +15,12 @@
 //! * [`stats`] — counters, running means and power-of-two latency
 //!   histograms used for every measurement reported by the benchmark
 //!   harness.
+//! * [`metrics`] — a hierarchically named registry over the [`stats`]
+//!   primitives: zero-cost handles for hot-path updates, a
+//!   [`metrics::MetricSource`] publish trait for components with typed
+//!   stat structs, and deterministic text/JSON export.
+//! * [`trace`] — a bounded drop-oldest ring of trace events with Chrome
+//!   trace-event (Perfetto-loadable) JSON export.
 //! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
 //!   used to run independent simulations (protocol × workload sweeps) on
 //!   all host cores.
@@ -24,9 +30,13 @@
 //! applied across the parameter sweep, not inside one run.
 
 pub mod event;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use event::{Cycle, EventQueue};
+pub use metrics::{MetricSource, MetricsRegistry};
 pub use rng::SimRng;
+pub use trace::{TraceEvent, TraceRing};

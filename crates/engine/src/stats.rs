@@ -71,14 +71,16 @@ impl Running {
         }
     }
 
-    /// Smallest sample (0 when empty).
-    pub fn min(&self) -> u64 {
-        self.min
+    /// Smallest sample, or `None` when no sample has been recorded.
+    /// (A bare 0 would be indistinguishable from a real 0-valued
+    /// sample.)
+    pub fn min(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.min)
     }
 
-    /// Largest sample (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
+    /// Largest sample, or `None` when no sample has been recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.max)
     }
 
     /// Merges another accumulator into this one.
@@ -152,7 +154,35 @@ impl Log2Hist {
                 return 1u64 << i;
             }
         }
-        self.running.max()
+        self.running.max().unwrap_or(0)
+    }
+
+    /// Number of buckets (`record` clamps everything above `2^39` into
+    /// the last one).
+    pub const BUCKETS: usize = 40;
+
+    /// Inclusive lower bound of bucket `i` (`0` for bucket 0, else
+    /// `2^i`).
+    pub fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i.min(63)
+        }
+    }
+
+    /// Iterates `(bucket index, count)` over non-empty buckets, in
+    /// ascending index order (deterministic export order).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate().filter(|&(_, c)| c > 0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (i, c) in other.nonzero_buckets() {
+            self.buckets[i] = self.buckets[i].saturating_add(c);
+        }
+        self.running.merge(&other.running);
     }
 }
 
@@ -182,9 +212,21 @@ mod tests {
             r.record(v);
         }
         assert_eq!(r.count(), 3);
-        assert_eq!(r.min(), 4);
-        assert_eq!(r.max(), 12);
+        assert_eq!(r.min(), Some(4));
+        assert_eq!(r.max(), Some(12));
         assert!((r.mean() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_empty_is_none_not_zero() {
+        let r = Running::default();
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+        // A genuine 0 sample is distinguishable from "no samples".
+        let mut r = Running::default();
+        r.record(0);
+        assert_eq!(r.min(), Some(0));
+        assert_eq!(r.max(), Some(0));
     }
 
     #[test]
@@ -196,8 +238,8 @@ mod tests {
         b.record(10);
         a.merge(&b);
         assert_eq!(a.count(), 3);
-        assert_eq!(a.max(), 10);
-        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), Some(10));
+        assert_eq!(a.min(), Some(1));
         let empty = Running::default();
         a.merge(&empty);
         assert_eq!(a.count(), 3);
@@ -230,5 +272,58 @@ mod tests {
     fn hist_empty_percentile_zero() {
         let h = Log2Hist::new();
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn hist_extreme_values() {
+        let mut h = Log2Hist::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        // 0 and 1 share bucket 0; u64::MAX clamps into the last bucket.
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(Log2Hist::BUCKETS - 1), 1);
+        assert_eq!(h.summary().count(), 3);
+        assert_eq!(h.summary().min(), Some(0));
+        assert_eq!(h.summary().max(), Some(u64::MAX));
+        // Percentiles resolve to bucket lower bounds; the clamped tail
+        // reports the final bucket's boundary, while the exact max stays
+        // available through `summary()`.
+        assert_eq!(h.percentile(100.0), 1u64 << 39);
+    }
+
+    #[test]
+    fn hist_bucket_boundaries() {
+        // Each power of two opens a new bucket; value 2^i-1 stays in
+        // bucket i-1.
+        for i in 1..Log2Hist::BUCKETS - 1 {
+            let mut h = Log2Hist::new();
+            let low = 1u64 << i;
+            h.record(low - 1);
+            h.record(low);
+            assert_eq!(h.bucket(i - 1), 1, "2^{i}-1 belongs to bucket {}", i - 1);
+            assert_eq!(h.bucket(i), 1, "2^{i} belongs to bucket {i}");
+        }
+        // Everything at or above 2^39 lands in the final bucket.
+        let mut h = Log2Hist::new();
+        h.record(1u64 << 39);
+        h.record(1u64 << 40);
+        assert_eq!(h.bucket(Log2Hist::BUCKETS - 1), 2);
+        assert_eq!(Log2Hist::bucket_low(0), 0);
+        assert_eq!(Log2Hist::bucket_low(10), 1024);
+    }
+
+    #[test]
+    fn hist_merge_and_iteration() {
+        let mut a = Log2Hist::new();
+        a.record(3);
+        let mut b = Log2Hist::new();
+        b.record(3);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.summary().count(), 3);
+        assert_eq!(a.bucket(1), 2);
+        let nz: Vec<_> = a.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(1, 2), (9, 1)]);
     }
 }

@@ -24,4 +24,4 @@ pub mod mesh;
 pub mod stats;
 
 pub use mesh::{Delivery, Mesh, NocConfig};
-pub use stats::NocStats;
+pub use stats::{publish_running, NocStats};

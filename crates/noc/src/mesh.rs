@@ -88,6 +88,11 @@ pub struct Mesh {
     /// `link_free[tile * 4 + dir]`: earliest cycle the directed link out of
     /// `tile` toward `dir` can accept a new header flit.
     link_free: Vec<Cycle>,
+    /// `link_busy[tile * 4 + dir]`: cumulative cycles each directed link
+    /// has spent transmitting flits (one cycle per flit traversal). An
+    /// interval sampler diffs this against an earlier snapshot to get
+    /// per-link utilization over a window.
+    link_busy: Vec<u64>,
     stats: NocStats,
 }
 
@@ -95,7 +100,12 @@ impl Mesh {
     /// Builds an idle mesh.
     pub fn new(cfg: NocConfig) -> Self {
         assert!(cfg.cols >= 1 && cfg.rows >= 1, "degenerate mesh");
-        Self { link_free: vec![0; cfg.tiles() * 4], cfg, stats: NocStats::default() }
+        Self {
+            link_free: vec![0; cfg.tiles() * 4],
+            link_busy: vec![0; cfg.tiles() * 4],
+            cfg,
+            stats: NocStats::default(),
+        }
     }
 
     /// Configuration in effect.
@@ -108,9 +118,24 @@ impl Mesh {
         &self.stats
     }
 
-    /// Resets statistics (keeps link clocks).
+    /// Cumulative per-directed-link busy cycles, indexed `tile * 4 +
+    /// dir`. Border slots that have no physical link stay 0.
+    pub fn link_busy(&self) -> &[u64] {
+        &self.link_busy
+    }
+
+    /// Number of physical directed links in the mesh (border slots in
+    /// [`Mesh::link_busy`] excluded) — the denominator for mean link
+    /// utilization.
+    pub fn directed_links(&self) -> usize {
+        2 * (self.cfg.cols - 1) * self.cfg.rows + 2 * (self.cfg.rows - 1) * self.cfg.cols
+    }
+
+    /// Resets statistics, including link-busy accumulation (keeps link
+    /// clocks).
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
+        self.link_busy.iter_mut().for_each(|b| *b = 0);
     }
 
     fn xy(&self, tile: usize) -> (usize, usize) {
@@ -191,6 +216,7 @@ impl Mesh {
                 // The link is serialized for the body flits behind the head.
                 self.link_free[li] = t + flits.saturating_sub(1);
             }
+            self.link_busy[li] += flits;
         }
         // Tail flit trails the head by (flits - 1) cycles on the last link.
         let arrival = t + flits.saturating_sub(1);
@@ -265,6 +291,7 @@ impl Mesh {
             }
             self.link_free[li] = t + flits.saturating_sub(1);
         }
+        self.link_busy[li] += flits;
         t
     }
 }
@@ -392,6 +419,30 @@ mod tests {
         assert_eq!(lookup(56), 35);
         // Far corner: 14 hops * 5.
         assert_eq!(lookup(63), 70);
+    }
+
+    #[test]
+    fn link_busy_tracks_flit_traversals() {
+        let mut m = mesh();
+        m.send(0, 0, 2, 5); // 2 links x 5 flits
+        assert_eq!(m.link_busy().iter().sum::<u64>(), 10);
+        m.broadcast(100, 0, 1); // 63 links x 1 flit
+        assert_eq!(m.link_busy().iter().sum::<u64>(), 73);
+        m.reset_stats();
+        assert_eq!(m.link_busy().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn directed_link_count() {
+        // 8x8 mesh: 2*7*8 horizontal + 2*7*8 vertical = 224 directed links.
+        assert_eq!(mesh().directed_links(), 224);
+        let m = Mesh::new(NocConfig { cols: 4, rows: 4, ..NocConfig::default() });
+        assert_eq!(m.directed_links(), 48);
+        // Busy accumulation only ever touches physical links.
+        let mut m = mesh();
+        m.broadcast(0, 27, 5);
+        let used = m.link_busy().iter().filter(|&&b| b > 0).count();
+        assert!(used <= m.directed_links());
     }
 
     #[test]

@@ -1,6 +1,25 @@
 //! Traffic statistics exported to the power model and the reports.
+//!
+//! `NocStats` is built entirely from the `cmpsim_engine::stats`
+//! primitives (the workspace's one source of truth for counter shapes)
+//! and publishes into the unified [`MetricsRegistry`] via
+//! [`MetricSource`].
 
+use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
 use cmpsim_engine::stats::{Counter, Running};
+
+/// Publishes a [`Running`] under `prefix` as a count counter plus
+/// mean/min/max gauges (min/max omitted when the series is empty).
+pub fn publish_running(r: &Running, prefix: &str, reg: &mut MetricsRegistry) {
+    reg.set_counter(&format!("{prefix}.count"), r.count());
+    reg.set_gauge(&format!("{prefix}.mean"), r.mean());
+    if let Some(v) = r.min() {
+        reg.set_gauge(&format!("{prefix}.min"), v as f64);
+    }
+    if let Some(v) = r.max() {
+        reg.set_gauge(&format!("{prefix}.max"), v as f64);
+    }
+}
 
 /// Raw NoC activity counts for one simulation.
 ///
@@ -41,6 +60,24 @@ impl NocStats {
     }
 }
 
+impl MetricSource for NocStats {
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        let c = [
+            ("messages", &self.messages),
+            ("broadcasts", &self.broadcasts),
+            ("local_deliveries", &self.local_deliveries),
+            ("routing_events", &self.routing_events),
+            ("flit_link_traversals", &self.flit_link_traversals),
+            ("contention_cycles", &self.contention_cycles),
+        ];
+        for (name, counter) in c {
+            reg.set_counter(&format!("{prefix}.{name}"), counter.get());
+        }
+        publish_running(&self.links_per_message, &format!("{prefix}.links_per_message"), reg);
+        publish_running(&self.message_latency, &format!("{prefix}.message_latency"), reg);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +93,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.messages.get(), 5);
         assert_eq!(a.links_per_message.count(), 2);
-        assert_eq!(a.links_per_message.max(), 8);
+        assert_eq!(a.links_per_message.max(), Some(8));
+    }
+
+    #[test]
+    fn publishes_into_registry() {
+        let mut s = NocStats::default();
+        s.messages.add(9);
+        s.message_latency.record(15);
+        let mut reg = MetricsRegistry::new();
+        s.publish("noc", &mut reg);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().collect();
+        assert_eq!(counters["noc.messages"], 9);
+        assert_eq!(counters["noc.message_latency.count"], 1);
+        let gauges: std::collections::BTreeMap<_, _> = reg.gauges().collect();
+        assert_eq!(gauges["noc.message_latency.max"], 15.0);
+        // Empty series publish no min/max (None, not a fake 0).
+        assert!(!gauges.contains_key("noc.links_per_message.min"));
     }
 }

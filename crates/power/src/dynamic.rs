@@ -12,6 +12,7 @@
 //! transmitting one flit over one link.
 
 use crate::structures::{all_structures, ChipGeometry, Structure};
+use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
 use cmpsim_noc::NocStats;
 use cmpsim_protocols::{ProtoStats, ProtocolKind};
 
@@ -42,6 +43,17 @@ impl CacheEnergy {
     }
 }
 
+impl MetricSource for CacheEnergy {
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set_gauge(&format!("{prefix}.l1_tag_nj"), self.l1_tag);
+        reg.set_gauge(&format!("{prefix}.l1_data_nj"), self.l1_data);
+        reg.set_gauge(&format!("{prefix}.l2_tag_nj"), self.l2_tag);
+        reg.set_gauge(&format!("{prefix}.l2_data_nj"), self.l2_data);
+        reg.set_gauge(&format!("{prefix}.aux_nj"), self.aux);
+        reg.set_gauge(&format!("{prefix}.total_nj"), self.total());
+    }
+}
+
 /// Network dynamic energy, split by the Figure 8b categories (nJ).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NetworkEnergy {
@@ -55,6 +67,14 @@ impl NetworkEnergy {
     /// Total network energy (nJ).
     pub fn total(&self) -> f64 {
         self.routing + self.links
+    }
+}
+
+impl MetricSource for NetworkEnergy {
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set_gauge(&format!("{prefix}.routing_nj"), self.routing);
+        reg.set_gauge(&format!("{prefix}.links_nj"), self.links);
+        reg.set_gauge(&format!("{prefix}.total_nj"), self.total());
     }
 }
 

@@ -35,6 +35,13 @@ impl Leakage {
     pub fn tag_diff_percent(&self, base: &Leakage) -> f64 {
         100.0 * (self.tag_mw / base.tag_mw - 1.0)
     }
+
+    /// Static energy dissipated by `tiles` tiles over `cycles` simulated
+    /// cycles, in nanojoules, at the paper's 1 GHz clock (1 cycle =
+    /// 1 ns, so 1 mW leaks 1 picojoule per cycle).
+    pub fn energy_nj(&self, tiles: u64, cycles: u64) -> f64 {
+        self.total_mw * tiles as f64 * cycles as f64 * 1e-3
+    }
 }
 
 fn bits_by_class(kind: ProtocolKind, g: &ChipGeometry) -> (u64, u64) {
@@ -100,6 +107,15 @@ mod tests {
         // Totals: -7% / -8%.
         assert!((prov.total_diff_percent(&dir) - -7.0).abs() < 1.5);
         assert!((arin.total_diff_percent(&dir) - -8.0).abs() < 1.5);
+    }
+
+    /// 1 GHz convention: one mW of leakage costs one pJ per cycle.
+    #[test]
+    fn static_energy_scales_linearly() {
+        let l = Leakage { total_mw: 200.0, tag_mw: 30.0 };
+        // 200 mW x 64 tiles x 1000 cycles @ 1 ns = 12.8 uJ = 12800 nJ.
+        assert!((l.energy_nj(64, 1000) - 12_800.0).abs() < 1e-9);
+        assert_eq!(l.energy_nj(64, 0), 0.0);
     }
 
     /// "As the number of cores grows, the effect of tag leakage power

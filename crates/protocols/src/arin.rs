@@ -1085,6 +1085,10 @@ impl Arin {
         let lat = self.spec.lat;
         self.stats.l2_tag.inc();
         self.stats.l2c_access.inc();
+        self.stats.home_lookups.inc();
+        if self.l2c[home].contains(block) {
+            self.stats.home_hits.inc();
+        }
         if let Some(&owner) = self.l2c[home].peek(block) {
             // A *vouched* request bouncing off the very cache the owner
             // pointer names proves an ownership-loss notification is in
@@ -1741,6 +1745,21 @@ impl CoherenceProtocol for Arin {
             && self.co_pending.iter().all(|s| s.is_empty())
             && self.bcast_blocked.iter().all(|s| s.is_empty())
             && self.bounce_hold.iter().all(|b| b.values().all(|q| q.is_empty()))
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let (l1_lines, l1_capacity) = occupancy_of(&self.l1);
+        let (l2_lines, l2_capacity) = occupancy_of(&self.l2);
+        let (c1, cap1) = occupancy_of(&self.l1c);
+        let (c2, cap2) = occupancy_of(&self.l2c);
+        Occupancy {
+            l1_lines,
+            l1_capacity,
+            l2_lines,
+            l2_capacity,
+            aux_lines: c1 + c2,
+            aux_capacity: cap1 + cap2,
+        }
     }
 
     fn snapshot(&self) -> ChipSnapshot {

@@ -4,6 +4,7 @@
 //! image).
 
 use cmpsim_cache::Geometry;
+use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
 use cmpsim_engine::stats::{Counter, Log2Hist, Running};
 use cmpsim_engine::Cycle;
 use cmpsim_virt::AreaMap;
@@ -477,6 +478,45 @@ impl MsgKind {
             _ => false,
         }
     }
+
+    /// Short static name for traces and dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgKind::Req(r) => {
+                if r.write {
+                    "GetX"
+                } else {
+                    "GetS"
+                }
+            }
+            MsgKind::Data(_) => "Data",
+            MsgKind::Inv { .. } => "Inv",
+            MsgKind::InvProvider { .. } => "InvProvider",
+            MsgKind::InvSilent => "InvSilent",
+            MsgKind::Ack => "Ack",
+            MsgKind::AckCount { .. } => "AckCount",
+            MsgKind::ChangeOwner { .. } => "ChangeOwner",
+            MsgKind::ChangeOwnerAck => "ChangeOwnerAck",
+            MsgKind::ChangeProvider { .. } => "ChangeProvider",
+            MsgKind::ChangeProviderAck => "ChangeProviderAck",
+            MsgKind::NoProvider { .. } => "NoProvider",
+            MsgKind::OwnershipTransfer { .. } => "OwnershipTransfer",
+            MsgKind::ProvidershipTransfer { .. } => "ProvidershipTransfer",
+            MsgKind::OwnershipRecall => "OwnershipRecall",
+            MsgKind::RecallFailed => "RecallFailed",
+            MsgKind::OwnershipToHome { .. } => "OwnershipToHome",
+            MsgKind::WbAck => "WbAck",
+            MsgKind::SbaTransition { .. } => "SbaTransition",
+            MsgKind::SbaAck => "SbaAck",
+            MsgKind::BcastInv { .. } => "BcastInv",
+            MsgKind::BcastAck => "BcastAck",
+            MsgKind::BcastUnblock => "BcastUnblock",
+            MsgKind::BcastDone { .. } => "BcastDone",
+            MsgKind::MemData => "MemData",
+            MsgKind::Unblock { .. } => "Unblock",
+            MsgKind::Hint { .. } => "Hint",
+        }
+    }
 }
 
 /// One coherence message in flight.
@@ -706,6 +746,18 @@ pub struct ProtoStats {
     pub mem_reads: Counter,
     /// Memory writebacks.
     pub mem_writes: Counter,
+    /// Misses launched on an owner/provider prediction (L1C$ or line
+    /// pointer chose a destination other than the home); counted at
+    /// miss completion from the Figure-9b classification.
+    pub pred_lookups: Counter,
+    /// Predictions whose target served the miss directly (the two
+    /// predicted-hit classes).
+    pub pred_hits: Counter,
+    /// Home-side ordering-structure lookups (directory cache, or the
+    /// L2C$ owner cache in the DiCo family).
+    pub home_lookups: Counter,
+    /// Home-side lookups that found the entry cached on-chip.
+    pub home_hits: Counter,
     /// Miss latency distribution (summary).
     pub miss_latency: Running,
     /// Miss latency distribution (log2 histogram, for percentiles).
@@ -715,16 +767,135 @@ pub struct ProtoStats {
 }
 
 impl ProtoStats {
-    /// Records a classified, completed miss with its latency.
+    /// Records a classified, completed miss with its latency. The
+    /// prediction counters feed off the classification: the three
+    /// `Predicted*`/`PredictionFailed` classes are exactly the misses
+    /// that launched using an L1C$/line-pointer prediction.
     pub fn record_miss(&mut self, class: MissClass, latency: Cycle) {
         self.miss_latency.record(latency);
         self.miss_latency_hist.record(latency);
         *self.miss_class.entry(class.label()).or_insert(0) += 1;
+        match class {
+            MissClass::PredictedOwnerHit | MissClass::PredictedProviderHit => {
+                self.pred_lookups.inc();
+                self.pred_hits.inc();
+            }
+            MissClass::PredictionFailed => self.pred_lookups.inc(),
+            _ => {}
+        }
     }
 
     /// Count for one Figure-9b class.
     pub fn class_count(&self, class: MissClass) -> u64 {
         self.miss_class.get(class.label()).copied().unwrap_or(0)
+    }
+
+    /// Prediction hit rate over the measured window (`None` when the
+    /// protocol made no predictions — e.g. the flat directory).
+    pub fn pred_hit_rate(&self) -> Option<f64> {
+        let n = self.pred_lookups.get();
+        (n > 0).then(|| self.pred_hits.get() as f64 / n as f64)
+    }
+
+    /// Home ordering-structure (directory cache / L2C$) hit rate.
+    pub fn home_hit_rate(&self) -> Option<f64> {
+        let n = self.home_lookups.get();
+        (n > 0).then(|| self.home_hits.get() as f64 / n as f64)
+    }
+}
+
+impl MetricSource for ProtoStats {
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        let c = [
+            ("l1_tag", &self.l1_tag),
+            ("l1_data_read", &self.l1_data_read),
+            ("l1_data_write", &self.l1_data_write),
+            ("l2_tag", &self.l2_tag),
+            ("l2_data_read", &self.l2_data_read),
+            ("l2_data_write", &self.l2_data_write),
+            ("dir_access", &self.dir_access),
+            ("l1c_access", &self.l1c_access),
+            ("l2c_access", &self.l2c_access),
+            ("accesses", &self.accesses),
+            ("l1_hits", &self.l1_hits),
+            ("l1_misses", &self.l1_misses),
+            ("write_misses", &self.write_misses),
+            ("invalidations", &self.invalidations),
+            ("broadcast_invs", &self.broadcast_invs),
+            ("l1_repl_transactions", &self.l1_repl_transactions),
+            ("l2_evictions", &self.l2_evictions),
+            ("mem_reads", &self.mem_reads),
+            ("mem_writes", &self.mem_writes),
+            ("pred_lookups", &self.pred_lookups),
+            ("pred_hits", &self.pred_hits),
+            ("home_lookups", &self.home_lookups),
+            ("home_hits", &self.home_hits),
+        ];
+        for (name, counter) in c {
+            reg.set_counter(&format!("{prefix}.{name}"), counter.get());
+        }
+        if let Some(r) = self.pred_hit_rate() {
+            reg.set_gauge(&format!("{prefix}.pred_hit_rate"), r);
+        }
+        if let Some(r) = self.home_hit_rate() {
+            reg.set_gauge(&format!("{prefix}.home_hit_rate"), r);
+        }
+        reg.merge_hist(&format!("{prefix}.miss_latency"), &self.miss_latency_hist);
+        for (class, n) in &self.miss_class {
+            reg.set_counter(&format!("{prefix}.miss_class.{class}"), *n);
+        }
+    }
+}
+
+/// Cache-line occupancy snapshot (valid lines vs capacity), sampled by
+/// the interval time-series. `aux` covers the protocol's auxiliary
+/// structure: the directory cache, or L1C$+L2C$ for the DiCo family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Valid L1 lines across all tiles.
+    pub l1_lines: u64,
+    /// Total L1 capacity in lines.
+    pub l1_capacity: u64,
+    /// Valid L2 lines across all banks.
+    pub l2_lines: u64,
+    /// Total L2 capacity in lines.
+    pub l2_capacity: u64,
+    /// Valid entries in auxiliary structures.
+    pub aux_lines: u64,
+    /// Total auxiliary capacity in entries.
+    pub aux_capacity: u64,
+}
+
+/// Sums resident lines and total capacity over per-tile cache arrays
+/// (helper for [`CoherenceProtocol::occupancy`] implementations).
+pub fn occupancy_of<T>(arrays: &[cmpsim_cache::SetAssoc<T>]) -> (u64, u64) {
+    arrays
+        .iter()
+        .fold((0, 0), |(l, c), a| (l + a.len() as u64, c + a.capacity() as u64))
+}
+
+impl Occupancy {
+    fn frac(lines: u64, cap: u64) -> f64 {
+        if cap == 0 {
+            0.0
+        } else {
+            lines as f64 / cap as f64
+        }
+    }
+
+    /// L1 fill fraction in `[0, 1]`.
+    pub fn l1_frac(&self) -> f64 {
+        Self::frac(self.l1_lines, self.l1_capacity)
+    }
+
+    /// L2 fill fraction in `[0, 1]`.
+    pub fn l2_frac(&self) -> f64 {
+        Self::frac(self.l2_lines, self.l2_capacity)
+    }
+
+    /// Auxiliary-structure fill fraction in `[0, 1]`.
+    pub fn aux_frac(&self) -> f64 {
+        Self::frac(self.aux_lines, self.aux_capacity)
     }
 }
 
@@ -813,6 +984,12 @@ pub trait CoherenceProtocol {
     /// test harness when a run fails to drain.
     fn pending_summary(&self) -> String {
         String::new()
+    }
+    /// Current cache-line occupancy (sampled by the interval
+    /// time-series). The default reports nothing, so test harness
+    /// protocols need not implement it.
+    fn occupancy(&self) -> Occupancy {
+        Occupancy::default()
     }
 }
 

@@ -512,6 +512,10 @@ impl Directory {
         self.stats.l2_tag.inc();
         self.stats.dir_access.inc();
         let dir = self.dir_info(home, block);
+        self.stats.home_lookups.inc();
+        if dir.is_some() {
+            self.stats.home_hits.inc();
+        }
         match dir {
             Some((_, Some(owner))) => {
                 // Owner in an L1: forward (3-hop path).
@@ -854,6 +858,13 @@ impl CoherenceProtocol for Directory {
         self.mshr.iter().all(|m| m.is_empty())
             && self.queues.iter().all(|q| q.idle())
             && self.tx.iter().all(|t| t.is_empty())
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let (l1_lines, l1_capacity) = occupancy_of(&self.l1);
+        let (l2_lines, l2_capacity) = occupancy_of(&self.l2);
+        let (aux_lines, aux_capacity) = occupancy_of(&self.dircache);
+        Occupancy { l1_lines, l1_capacity, l2_lines, l2_capacity, aux_lines, aux_capacity }
     }
 
     fn snapshot(&self) -> ChipSnapshot {

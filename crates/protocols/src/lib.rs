@@ -54,6 +54,6 @@ pub mod harness;
 pub mod providers;
 
 pub use common::{
-    AccessOutcome, CoherenceProtocol, Ctx, MissClass, Msg, MsgKind, Node, ProtoError,
+    AccessOutcome, CoherenceProtocol, Ctx, MissClass, Msg, MsgKind, Node, Occupancy, ProtoError,
     ProtoStats, ProtocolKind, Supplier,
 };

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against one of the schemas in schemas/.
+
+Standard library only (no jsonschema dependency): implements the small
+draft-07 subset those schemas use — type, enum, required, properties,
+additionalProperties, items, minItems, maxItems, minimum, maximum.
+
+Usage:
+    scripts/validate_schema.py schemas/metrics.schema.json metrics.json ...
+
+Exits 0 if every document validates, 1 with the first few errors
+otherwise.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+    "boolean": bool,
+}
+
+
+def type_ok(value, name):
+    if isinstance(value, bool):  # bool is an int subclass in Python
+        return name == "boolean"
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema, path, errors):
+    """Appends human-readable problems found at `path` to `errors`."""
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {'/'.join(names)}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required field {key!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected field {key!r}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} items > maxItems {schema['maxItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for doc_path in argv[2:]:
+        with open(doc_path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"FAIL {doc_path}: not valid JSON: {e}")
+                failed = True
+                continue
+        errors = []
+        validate(doc, schema, "$", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {doc_path} against {argv[1]}:")
+            for e in errors[:10]:
+                print(f"  {e}")
+            if len(errors) > 10:
+                print(f"  ... and {len(errors) - 10} more")
+        else:
+            print(f"ok   {doc_path} matches {argv[1]}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
