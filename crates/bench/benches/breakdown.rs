@@ -1,0 +1,31 @@
+//! Cost of critical-path & energy attribution, per protocol. Each pair
+//! runs the same reduced workload with attribution off and on; the gap
+//! bounds what `cmpsim-cli breakdown` / `--attr` cost on top of a plain
+//! run. With `CMPSIM_BENCH_DIR` set, the shim writes
+//! `BENCH_breakdown.json` and appends the perf-trajectory record, so CI
+//! can track the overhead across commits.
+
+use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let base = SystemConfig::paper().with_refs(1_000);
+    let mut g = c.benchmark_group("attribution_overhead_radix_1k_refs");
+    g.sample_size(10);
+    for kind in ProtocolKind::all() {
+        for (tag, cfg) in [("plain", base.clone()), ("attr", base.clone().with_attribution())] {
+            g.bench_function(&format!("{}/{tag}", kind.name()), |b| {
+                b.iter(|| {
+                    black_box(
+                        run_benchmark(kind, Benchmark::Radix, &cfg).expect("run").cycles,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -11,10 +11,11 @@ use std::hint::black_box;
 
 fn bench_observability(c: &mut Criterion) {
     let base = SystemConfig::paper().with_refs(1_000);
-    let variants: [(&str, SystemConfig); 4] = [
+    let variants: [(&str, SystemConfig); 5] = [
         ("baseline", base.clone()),
         ("tracing", base.clone().with_tracing()),
         ("interval", base.clone().with_interval(5_000)),
+        ("attribution", base.clone().with_attribution()),
         ("both", base.clone().with_tracing().with_interval(5_000)),
     ];
     let mut g = c.benchmark_group("observability_overhead_apache_1k_refs");

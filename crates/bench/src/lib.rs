@@ -24,15 +24,22 @@ pub fn report_config() -> SystemConfig {
 
 /// Applies the observability environment knobs:
 /// `CMPSIM_INTERVAL=<cycles>` turns on interval time-series sampling,
-/// `CMPSIM_TRACE_OUT=<file>` turns on coherence-transaction tracing.
-/// Runs made with the returned config should pass through
-/// [`write_observability`] so the requested files actually land.
+/// `CMPSIM_TRACE_OUT=<file>` turns on coherence-transaction tracing,
+/// `CMPSIM_BREAKDOWN_OUT=<file>` (or `CMPSIM_ATTR=1`) turns on
+/// critical-path & energy attribution. Runs made with the returned
+/// config should pass through [`write_observability`] so the requested
+/// files actually land.
 pub fn obs_from_env(mut cfg: SystemConfig) -> SystemConfig {
     if let Some(n) = std::env::var("CMPSIM_INTERVAL").ok().and_then(|s| s.parse().ok()) {
         cfg = cfg.with_interval(n);
     }
     if std::env::var_os("CMPSIM_TRACE_OUT").is_some() {
         cfg = cfg.with_tracing();
+    }
+    if std::env::var_os("CMPSIM_ATTR").is_some()
+        || std::env::var_os("CMPSIM_BREAKDOWN_OUT").is_some()
+    {
+        cfg = cfg.with_attribution();
     }
     cfg
 }
@@ -65,6 +72,22 @@ pub fn write_observability(r: &RunResult, tag: &str) {
                 eprintln!("warning: cannot write time-series to {path}: {e}");
             } else {
                 eprintln!("time-series written to {path}");
+            }
+        }
+    }
+    if r.breakdown.is_some() {
+        if let Ok(path) = std::env::var("CMPSIM_BREAKDOWN_OUT") {
+            let path = suffixed(&path);
+            let results = std::slice::from_ref(r);
+            let body = if path.ends_with(".csv") {
+                cmpsim::report::breakdown_csv(results)
+            } else {
+                cmpsim::report::breakdown_json(results)
+            };
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write breakdown to {path}: {e}");
+            } else {
+                eprintln!("breakdown written to {path}");
             }
         }
     }

@@ -1,0 +1,704 @@
+//! Per-transaction critical-path and energy attribution.
+//!
+//! When [`SystemConfig::attribution`](crate::SystemConfig) is on, every
+//! L1 miss's lifetime is decomposed into the typed [`Phase`]s of the
+//! paper's Figure 7, and every dynamic-energy-bearing event (cache
+//! array access, directory/coherence-info access, NoC routing, flit
+//! transmission) is charged to the transaction that caused it — or to
+//! the untracked background bucket when none is open on the block.
+//!
+//! Two hard tiling invariants hold (and are enforced by the integration
+//! tests, per transaction and in aggregate):
+//!
+//! 1. **Latency**: the per-phase cycles of a completed transaction sum
+//!    *exactly* to its measured end-to-end miss latency (the same
+//!    `completion - issue` window the protocols record into
+//!    `miss_latency`).
+//! 2. **Energy**: attributed event counts (transactions + untracked +
+//!    still-open) sum integer-exactly to the aggregate [`ProtoStats`]
+//!    and NoC counters, so per-transaction energy computed from them
+//!    tiles bit-exactly into the aggregate dynamic energy.
+//!
+//! The latency decomposition is a deterministic cursor sweep over the
+//! transaction's recorded message spans, run at completion time: spans
+//! are visited in `(depart, arrival)` order; uncovered gaps are charged
+//! to the phase implied by where the transaction logically *is*
+//! (requestor, home, owner, memory controller, or filled), and in-span
+//! time is charged to the span's own class. Everything is clamped to
+//! the `[issue, completion]` window, and any residue after the last
+//! span is the fill phase — which is what makes the sum exact by
+//! construction rather than by sampling.
+//!
+//! Like tracing, attribution is observation-only: it never touches the
+//! event queue or the RNG, and simulated timing is bit-identical with
+//! it on or off.
+
+use cmpsim_engine::phase::{EventCounts, Phase, PhaseCycles, PHASES};
+use cmpsim_engine::stats::Log2Hist;
+use cmpsim_engine::Cycle;
+use cmpsim_protocols::common::{Block, BlockReason, MsgKind, Node, Tile};
+use std::collections::BTreeMap;
+
+/// Critical-path classification of one network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// A coherence request leaving the requestor (first hop).
+    Request,
+    /// A request re-sent past its first stop (home -> owner, owner
+    /// chasing) — the indirection hop the DiCo family removes.
+    Forward,
+    /// A data response.
+    Data,
+    /// Home -> memory controller fetch.
+    MemRead,
+    /// Home -> memory controller writeback.
+    MemWrite,
+    /// Memory controller -> home data return.
+    MemData,
+    /// Invalidation round traffic (invs, acks, broadcast steps).
+    Inv,
+    /// NACK/retry traffic (ownership recalls and their failures).
+    Retry,
+    /// Ordering-point maintenance (registrations, unblocks, writeback
+    /// acks, transfers, hints).
+    Control,
+}
+
+/// Classifies a protocol message for phase charging. `src` distinguishes
+/// a first-hop request (from the requestor's L1) from a forward.
+pub fn classify(kind: &MsgKind, src: Node) -> MsgClass {
+    match kind {
+        MsgKind::Req(r) => {
+            if matches!(src, Node::L1(_)) && src.tile() == r.requestor {
+                MsgClass::Request
+            } else {
+                MsgClass::Forward
+            }
+        }
+        MsgKind::Data(_) => MsgClass::Data,
+        MsgKind::MemData => MsgClass::MemData,
+        MsgKind::Inv { .. }
+        | MsgKind::InvProvider { .. }
+        | MsgKind::InvSilent
+        | MsgKind::Ack
+        | MsgKind::AckCount { .. }
+        | MsgKind::BcastInv { .. }
+        | MsgKind::BcastAck
+        | MsgKind::BcastUnblock
+        | MsgKind::BcastDone { .. } => MsgClass::Inv,
+        MsgKind::OwnershipRecall | MsgKind::RecallFailed => MsgClass::Retry,
+        _ => MsgClass::Control,
+    }
+}
+
+/// In-flight time of a span, by class.
+fn span_phase(class: MsgClass) -> Phase {
+    match class {
+        MsgClass::Request => Phase::ReqNet,
+        MsgClass::Forward => Phase::OwnerInd,
+        MsgClass::Data => Phase::DataNet,
+        MsgClass::MemRead | MsgClass::MemWrite | MsgClass::MemData => Phase::Memory,
+        MsgClass::Inv => Phase::Inv,
+        MsgClass::Retry => Phase::Retry,
+        // Ordering-point maintenance is precisely the serialization the
+        // home imposes on the transaction, so it charges the home phase.
+        MsgClass::Control => Phase::Home,
+    }
+}
+
+/// Where the transaction logically sits between spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// At the requestor, request not yet departed (L1 lookup).
+    Requestor,
+    /// At the ordering point (home directory, or the owner a direct
+    /// DiCo request reached): lookup + queueing.
+    Home,
+    /// At an indirected owner (forwarded request parked there).
+    Owner,
+    /// At the memory controller (queueing + DRAM access).
+    MemCtrl,
+    /// Back at the requestor, data arrived (fill + completion delay).
+    Filled,
+}
+
+/// Gap (non-span) time is charged by location.
+fn gap_phase(loc: Loc) -> Phase {
+    match loc {
+        Loc::Requestor => Phase::ReqNet,
+        Loc::Home => Phase::Home,
+        Loc::Owner => Phase::OwnerInd,
+        Loc::MemCtrl => Phase::Memory,
+        Loc::Filled => Phase::Fill,
+    }
+}
+
+/// One recorded message span of an open transaction.
+#[derive(Debug, Clone, Copy)]
+struct AttrEvent {
+    depart: Cycle,
+    arrival: Cycle,
+    class: MsgClass,
+    /// Destination is an L1 (vs L2) — a data response to the
+    /// requestor's L1 moves the transaction to [`Loc::Filled`].
+    dst_l1: bool,
+    dst_tile: Tile,
+}
+
+fn transition(loc: Loc, e: &AttrEvent, requestor: Tile) -> Loc {
+    match e.class {
+        MsgClass::Request => Loc::Home,
+        MsgClass::Forward => Loc::Owner,
+        MsgClass::MemRead => Loc::MemCtrl,
+        MsgClass::MemData => Loc::Home,
+        MsgClass::Data if e.dst_l1 && e.dst_tile == requestor => Loc::Filled,
+        _ => loc,
+    }
+}
+
+/// The deterministic cursor sweep: charges `[issued, end)` across the
+/// phases. Returns the per-phase cycles (summing exactly to
+/// `end - issued`) and the final location.
+fn sweep(issued: Cycle, requestor: Tile, events: &mut [AttrEvent], end: Cycle) -> (PhaseCycles, Loc) {
+    events.sort_by_key(|e| (e.depart, e.arrival));
+    let mut pc = PhaseCycles::default();
+    let mut cur = issued;
+    let mut loc = Loc::Requestor;
+    for e in events.iter() {
+        if cur >= end {
+            break;
+        }
+        if e.depart > cur {
+            let stop = e.depart.min(end);
+            pc.add(gap_phase(loc), stop - cur);
+            cur = stop;
+        }
+        if e.arrival > cur {
+            let stop = e.arrival.min(end);
+            if stop > cur {
+                pc.add(span_phase(e.class), stop - cur);
+                cur = stop;
+            }
+        }
+        loc = transition(loc, e, requestor);
+    }
+    if end > cur {
+        pc.add(gap_phase(loc), end - cur);
+    }
+    (pc, loc)
+}
+
+/// One open (issued, not yet completed) transaction.
+#[derive(Debug, Clone)]
+struct OpenAttr {
+    block: Block,
+    write: bool,
+    issued: Cycle,
+    requestor: Tile,
+    events: Vec<AttrEvent>,
+    counts: EventCounts,
+}
+
+/// The per-transaction attribution tracker. Owned by the simulator;
+/// only present when attribution is enabled, so the disabled hot path
+/// is a single `Option` test per hook.
+#[derive(Debug, Clone)]
+pub struct TxAttribution {
+    /// The open transaction of each tile (one outstanding miss per
+    /// core, so tile indexes the open set exactly).
+    open: Vec<Option<OpenAttr>>,
+    /// Tiles with an open transaction on a block, oldest first — the
+    /// attribution order (identical to the tracer's rule).
+    by_block: BTreeMap<Block, Vec<Tile>>,
+    /// Per-phase per-transaction distributions (one sample per
+    /// completed transaction per phase, zeros included, so every hist
+    /// count equals `completed`).
+    hists: Vec<Log2Hist>,
+    /// Total cycles per phase over completed transactions.
+    totals: PhaseCycles,
+    /// Completed transactions since the last reset.
+    completed: u64,
+    /// Completed transactions whose phase sum equaled their end-to-end
+    /// latency (always == `completed`; a hard invariant).
+    reconciled: u64,
+    /// Sum of end-to-end latencies (mirrors `miss_latency.sum()`).
+    latency_cycles: u64,
+    /// Pre-issue wait: cycles cores spent retrying on an MSHR conflict.
+    mshr_wait_cycles: u64,
+    /// Pre-issue wait: cycles cores spent retrying on a busy block.
+    retry_wait_cycles: u64,
+    /// Energy-event counts of completed transactions.
+    tx_counts: EventCounts,
+    /// Energy-event counts with no open transaction on their block.
+    untracked_counts: EventCounts,
+}
+
+impl TxAttribution {
+    /// Creates a tracker for a `tiles`-tile chip.
+    pub fn new(tiles: usize) -> Self {
+        Self {
+            open: vec![None; tiles],
+            by_block: BTreeMap::new(),
+            hists: (0..PHASES).map(|_| Log2Hist::new()).collect(),
+            totals: PhaseCycles::default(),
+            completed: 0,
+            reconciled: 0,
+            latency_cycles: 0,
+            mshr_wait_cycles: 0,
+            retry_wait_cycles: 0,
+            tx_counts: EventCounts::default(),
+            untracked_counts: EventCounts::default(),
+        }
+    }
+
+    /// Opens a transaction for the L1 miss issuing at `now` on `tile`.
+    pub fn on_issue(&mut self, now: Cycle, tile: Tile, block: Block, write: bool) {
+        if let Some(stale) = self.open[tile].take() {
+            self.unlink(stale.block, tile);
+        }
+        self.open[tile] = Some(OpenAttr {
+            block,
+            write,
+            issued: now,
+            requestor: tile,
+            events: Vec::new(),
+            counts: EventCounts::default(),
+        });
+        self.by_block.entry(block).or_default().push(tile);
+    }
+
+    fn owner_of(&mut self, block: Block) -> Option<&mut OpenAttr> {
+        let tile = *self.by_block.get(&block)?.first()?;
+        self.open[tile].as_mut()
+    }
+
+    /// Records one network message span on `block`, charging its NoC
+    /// energy events (`links` routings, `links * flits` flit-links) the
+    /// same way the mesh counts them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_message(
+        &mut self,
+        depart: Cycle,
+        arrival: Cycle,
+        class: MsgClass,
+        block: Block,
+        dst: Node,
+        links: u64,
+        flits: u64,
+    ) {
+        let noc = EventCounts { routing: links, flit_links: links * flits, ..Default::default() };
+        if let Some(tx) = self.owner_of(block) {
+            tx.events.push(AttrEvent {
+                depart,
+                arrival,
+                class,
+                dst_l1: matches!(dst, Node::L1(_)),
+                dst_tile: dst.tile(),
+            });
+            tx.counts.merge(&noc);
+        } else {
+            self.untracked_counts.merge(&noc);
+        }
+    }
+
+    /// Charges a cache-side energy-event delta (the counter movement of
+    /// one protocol dispatch) to the transaction open on `block`.
+    pub fn on_cache_events(&mut self, block: Block, delta: EventCounts) {
+        if delta.is_zero() {
+            return;
+        }
+        if let Some(tx) = self.owner_of(block) {
+            tx.counts.merge(&delta);
+        } else {
+            self.untracked_counts.merge(&delta);
+        }
+    }
+
+    /// Records a blocked (pre-issue) core retry of `cycles` cycles.
+    pub fn on_blocked(&mut self, reason: BlockReason, cycles: u64) {
+        match reason {
+            BlockReason::MshrConflict => self.mshr_wait_cycles += cycles,
+            BlockReason::BusyBlock => self.retry_wait_cycles += cycles,
+        }
+    }
+
+    /// Completes the transaction open on `tile` at `now`: runs the
+    /// sweep and folds the result into the aggregates.
+    pub fn on_completion(&mut self, now: Cycle, tile: Tile) {
+        let Some(mut tx) = self.open[tile].take() else {
+            return;
+        };
+        self.unlink(tx.block, tile);
+        let latency = now.saturating_sub(tx.issued);
+        let (phases, _) = sweep(tx.issued, tx.requestor, &mut tx.events, now);
+        for (p, cycles) in phases.iter() {
+            self.hists[p.index()].record(cycles);
+        }
+        self.totals.merge(&phases);
+        self.completed += 1;
+        self.latency_cycles += latency;
+        if phases.total() == latency {
+            self.reconciled += 1;
+        }
+        self.tx_counts.merge(&tx.counts);
+    }
+
+    fn unlink(&mut self, block: Block, tile: Tile) {
+        if let Some(tiles) = self.by_block.get_mut(&block) {
+            if let Some(i) = tiles.iter().position(|&t| t == tile) {
+                tiles.remove(i);
+            }
+            if tiles.is_empty() {
+                self.by_block.remove(&block);
+            }
+        }
+    }
+
+    /// Warm-up reset: zeroes every aggregate (mirroring the proto/NoC
+    /// stats resets) and the open transactions' energy counts, but
+    /// keeps their recorded spans — a straddling miss still reports its
+    /// full issue-to-completion decomposition, exactly matching the
+    /// full latency the protocol records for it.
+    pub fn reset(&mut self) {
+        self.hists = (0..PHASES).map(|_| Log2Hist::new()).collect();
+        self.totals = PhaseCycles::default();
+        self.completed = 0;
+        self.reconciled = 0;
+        self.latency_cycles = 0;
+        self.mshr_wait_cycles = 0;
+        self.retry_wait_cycles = 0;
+        self.tx_counts = EventCounts::default();
+        self.untracked_counts = EventCounts::default();
+        for tx in self.open.iter_mut().flatten() {
+            tx.counts = EventCounts::default();
+        }
+    }
+
+    /// Completed-transaction phase totals so far (interval sampling).
+    pub fn phase_totals(&self) -> PhaseCycles {
+        self.totals
+    }
+
+    /// Renders up to `n` open transactions' phase timelines at `now`
+    /// (for watchdog stall dumps): where each in-flight miss is stuck.
+    pub fn stall_lines(&self, now: Cycle, n: usize) -> Vec<String> {
+        self.open
+            .iter()
+            .enumerate()
+            .filter_map(|(tile, o)| o.as_ref().map(|tx| (tile, tx)))
+            .take(n)
+            .map(|(tile, tx)| {
+                let mut events = tx.events.clone();
+                let (phases, loc) = sweep(tx.issued, tx.requestor, &mut events, now);
+                let parts: Vec<String> = phases
+                    .iter()
+                    .filter(|&(_, c)| c > 0)
+                    .map(|(p, c)| format!("{}={}", p.key(), c))
+                    .collect();
+                format!(
+                    "tile {tile} block {:#x} {} issued@{} age={}: {} (in {})",
+                    tx.block,
+                    if tx.write { "store" } else { "load" },
+                    tx.issued,
+                    now.saturating_sub(tx.issued),
+                    if parts.is_empty() { "-".to_string() } else { parts.join(" ") },
+                    gap_phase(loc).key(),
+                )
+            })
+            .collect()
+    }
+
+    /// Finalizes into the exportable log. Counts of transactions still
+    /// open (none after a clean drain) land in `open_counts` so the
+    /// energy tiling stays integer-exact regardless.
+    pub fn finish(self) -> BreakdownLog {
+        let mut open_counts = EventCounts::default();
+        let mut open_txs = 0;
+        for tx in self.open.iter().flatten() {
+            open_counts.merge(&tx.counts);
+            open_txs += 1;
+        }
+        BreakdownLog {
+            hists: self.hists,
+            phase_cycles: self.totals,
+            completed: self.completed,
+            reconciled: self.reconciled,
+            latency_cycles: self.latency_cycles,
+            open_txs,
+            mshr_wait_cycles: self.mshr_wait_cycles,
+            retry_wait_cycles: self.retry_wait_cycles,
+            tx_counts: self.tx_counts,
+            untracked_counts: self.untracked_counts,
+            open_counts,
+        }
+    }
+}
+
+/// The attribution result of one finished run.
+#[derive(Debug, Clone)]
+pub struct BreakdownLog {
+    /// Per-phase per-transaction distributions, indexed by
+    /// [`Phase::index`]. Every hist's count equals `completed`.
+    pub hists: Vec<Log2Hist>,
+    /// Total cycles per phase over completed transactions; sums exactly
+    /// to `latency_cycles`.
+    pub phase_cycles: PhaseCycles,
+    /// Transactions completed in the measured window (equals the
+    /// protocol's `miss_latency.count()`).
+    pub completed: u64,
+    /// Transactions whose phase sum equaled their latency (== `completed`).
+    pub reconciled: u64,
+    /// Sum of end-to-end miss latencies (equals `miss_latency.sum()`).
+    pub latency_cycles: u64,
+    /// Transactions still open at the end (0 on a clean drain).
+    pub open_txs: u64,
+    /// Pre-issue core wait on MSHR conflicts (outside the miss window).
+    pub mshr_wait_cycles: u64,
+    /// Pre-issue core wait on busy/locked blocks (outside the window).
+    pub retry_wait_cycles: u64,
+    /// Energy events attributed to completed transactions.
+    pub tx_counts: EventCounts,
+    /// Energy events of background traffic (no open transaction).
+    pub untracked_counts: EventCounts,
+    /// Energy events of transactions still open at the end.
+    pub open_counts: EventCounts,
+}
+
+impl BreakdownLog {
+    /// All attributed energy events; equals the aggregate proto/NoC
+    /// counters integer-exactly.
+    pub fn total_counts(&self) -> EventCounts {
+        let mut c = self.tx_counts;
+        c.merge(&self.untracked_counts);
+        c.merge(&self.open_counts);
+        c
+    }
+
+    /// The per-transaction distribution of `phase`.
+    pub fn phase_hist(&self, phase: Phase) -> &Log2Hist {
+        &self.hists[phase.index()]
+    }
+
+    /// Mean cycles per miss spent in `phase`.
+    pub fn phase_avg(&self, phase: Phase) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.phase_cycles.get(phase) as f64 / self.completed as f64
+        }
+    }
+
+    /// Share of total miss latency spent in `phase` (0..1).
+    pub fn phase_frac(&self, phase: Phase) -> f64 {
+        if self.latency_cycles == 0 {
+            0.0
+        } else {
+            self.phase_cycles.get(phase) as f64 / self.latency_cycles as f64
+        }
+    }
+
+    /// Publishes the attribution metrics under `prefix` (counters,
+    /// per-phase cycle totals and Log2Hists, per-bucket event counts).
+    pub fn publish(&self, prefix: &str, reg: &mut cmpsim_engine::MetricsRegistry) {
+        reg.set_counter(&format!("{prefix}.completed"), self.completed);
+        reg.set_counter(&format!("{prefix}.reconciled"), self.reconciled);
+        reg.set_counter(&format!("{prefix}.open_txs"), self.open_txs);
+        reg.set_counter(&format!("{prefix}.latency_cycles"), self.latency_cycles);
+        reg.set_counter(&format!("{prefix}.mshr_wait_cycles"), self.mshr_wait_cycles);
+        reg.set_counter(&format!("{prefix}.retry_wait_cycles"), self.retry_wait_cycles);
+        for p in Phase::all() {
+            reg.set_counter(
+                &format!("{prefix}.phase.{}.cycles", p.key()),
+                self.phase_cycles.get(p),
+            );
+            reg.merge_hist(&format!("{prefix}.phase.{}", p.key()), self.phase_hist(p));
+        }
+        for (bucket, counts) in [
+            ("tx", &self.tx_counts),
+            ("untracked", &self.untracked_counts),
+            ("open", &self.open_counts),
+        ] {
+            for (name, v) in counts.fields() {
+                reg.set_counter(&format!("{prefix}.events.{bucket}.{name}"), v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_protocols::common::ReqInfo;
+
+    fn req(requestor: Tile) -> MsgKind {
+        MsgKind::Req(ReqInfo {
+            requestor,
+            write: false,
+            forwarder: None,
+            via_home: false,
+            predicted: false,
+            vouched: false,
+            hops: 0,
+        })
+    }
+
+    #[test]
+    fn classify_request_vs_forward() {
+        let k = req(3);
+        assert_eq!(classify(&k, Node::L1(3)), MsgClass::Request);
+        assert_eq!(classify(&k, Node::L2(5)), MsgClass::Forward);
+        assert_eq!(classify(&k, Node::L1(4)), MsgClass::Forward);
+        assert_eq!(classify(&MsgKind::MemData, Node::L2(0)), MsgClass::MemData);
+        assert_eq!(classify(&MsgKind::OwnershipRecall, Node::L2(0)), MsgClass::Retry);
+        assert_eq!(classify(&MsgKind::WbAck, Node::L2(0)), MsgClass::Control);
+        assert_eq!(classify(&MsgKind::Ack, Node::L1(0)), MsgClass::Inv);
+    }
+
+    /// A two-hop miss: request 10..20, home processes until 25, data
+    /// 25..40, completion at 43. Phases must tile [10, 43] exactly.
+    #[test]
+    fn sweep_tiles_simple_miss() {
+        let mut a = TxAttribution::new(4);
+        a.on_issue(10, 1, 0x40, false);
+        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L2(2), 3, 1);
+        a.on_message(25, 40, MsgClass::Data, 0x40, Node::L1(1), 3, 5);
+        a.on_completion(43, 1);
+        let log = a.finish();
+        assert_eq!(log.completed, 1);
+        assert_eq!(log.reconciled, 1);
+        assert_eq!(log.latency_cycles, 33);
+        assert_eq!(log.phase_cycles.total(), 33);
+        assert_eq!(log.phase_cycles.get(Phase::ReqNet), 10);
+        assert_eq!(log.phase_cycles.get(Phase::Home), 5);
+        assert_eq!(log.phase_cycles.get(Phase::DataNet), 15);
+        assert_eq!(log.phase_cycles.get(Phase::Fill), 3);
+        // NoC events: 3 + 3 routings, 3*1 + 3*5 flit-links.
+        assert_eq!(log.tx_counts.routing, 6);
+        assert_eq!(log.tx_counts.flit_links, 18);
+    }
+
+    /// A memory miss adds the MemRead/MemData bracket; the controller
+    /// queueing + DRAM gap between them charges the memory phase.
+    #[test]
+    fn sweep_charges_memory_gap() {
+        let mut a = TxAttribution::new(4);
+        a.on_issue(0, 0, 0x80, true);
+        a.on_message(0, 10, MsgClass::Request, 0x80, Node::L2(3), 2, 1);
+        a.on_message(12, 20, MsgClass::MemRead, 0x80, Node::L2(3), 4, 1);
+        // DRAM: 20..320 is a gap at the controller.
+        a.on_message(320, 330, MsgClass::MemData, 0x80, Node::L2(3), 4, 5);
+        a.on_message(335, 350, MsgClass::Data, 0x80, Node::L1(0), 5, 5);
+        a.on_completion(352, 0);
+        let log = a.finish();
+        assert_eq!(log.reconciled, 1);
+        assert_eq!(log.phase_cycles.total(), 352);
+        // Memory = MemRead span (8) + DRAM gap (300) + MemData span (10).
+        assert_eq!(log.phase_cycles.get(Phase::Memory), 318);
+        assert_eq!(log.phase_cycles.get(Phase::Home), 2 + 5);
+        assert_eq!(log.phase_cycles.get(Phase::DataNet), 15);
+        assert_eq!(log.phase_cycles.get(Phase::Fill), 2);
+    }
+
+    /// Spans arriving after the completion (crossing traffic) are
+    /// clamped; the sum still tiles exactly.
+    #[test]
+    fn sweep_clamps_to_completion() {
+        let mut a = TxAttribution::new(2);
+        a.on_issue(100, 0, 0x10, false);
+        a.on_message(100, 110, MsgClass::Request, 0x10, Node::L2(1), 2, 1);
+        a.on_message(110, 500, MsgClass::Inv, 0x10, Node::L1(1), 2, 1);
+        a.on_completion(130, 0);
+        let log = a.finish();
+        assert_eq!(log.reconciled, 1);
+        assert_eq!(log.phase_cycles.total(), 30);
+        assert_eq!(log.phase_cycles.get(Phase::Inv), 20);
+    }
+
+    #[test]
+    fn untracked_traffic_lands_in_background_bucket() {
+        let mut a = TxAttribution::new(2);
+        a.on_message(5, 9, MsgClass::Control, 0x99, Node::L2(0), 2, 1);
+        a.on_cache_events(0x99, EventCounts { l2_tag: 1, ..Default::default() });
+        let log = a.finish();
+        assert_eq!(log.untracked_counts.routing, 2);
+        assert_eq!(log.untracked_counts.l2_tag, 1);
+        assert!(log.tx_counts.is_zero());
+        assert_eq!(log.total_counts().routing, 2);
+    }
+
+    #[test]
+    fn blocked_waits_split_by_reason() {
+        let mut a = TxAttribution::new(1);
+        a.on_blocked(BlockReason::MshrConflict, 7);
+        a.on_blocked(BlockReason::MshrConflict, 7);
+        a.on_blocked(BlockReason::BusyBlock, 7);
+        let log = a.finish();
+        assert_eq!(log.mshr_wait_cycles, 14);
+        assert_eq!(log.retry_wait_cycles, 7);
+    }
+
+    /// Reset keeps a straddling transaction's spans (its full-latency
+    /// decomposition survives) but zeroes its energy counts.
+    #[test]
+    fn reset_keeps_spans_zeroes_counts() {
+        let mut a = TxAttribution::new(2);
+        a.on_issue(0, 0, 0x40, false);
+        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L2(1), 3, 1);
+        a.reset();
+        a.on_message(12, 30, MsgClass::Data, 0x40, Node::L1(0), 3, 5);
+        a.on_completion(32, 0);
+        let log = a.finish();
+        assert_eq!(log.completed, 1);
+        assert_eq!(log.reconciled, 1);
+        // Full latency decomposed, including the pre-reset request span.
+        assert_eq!(log.phase_cycles.total(), 32);
+        assert_eq!(log.phase_cycles.get(Phase::ReqNet), 10);
+        // Only post-reset energy counted (3 routings of the data msg).
+        assert_eq!(log.tx_counts.routing, 3);
+    }
+
+    #[test]
+    fn hists_record_one_sample_per_phase_per_tx() {
+        let mut a = TxAttribution::new(2);
+        a.on_issue(0, 0, 0x40, false);
+        a.on_completion(8, 0);
+        a.on_issue(10, 1, 0x80, true);
+        a.on_completion(30, 1);
+        let log = a.finish();
+        for p in Phase::all() {
+            assert_eq!(log.phase_hist(p).summary().count(), 2, "{p:?}");
+        }
+        // A miss with no recorded spans is all requestor-side gap.
+        assert_eq!(log.phase_cycles.get(Phase::ReqNet), 28);
+    }
+
+    #[test]
+    fn stall_lines_show_current_phase() {
+        let mut a = TxAttribution::new(4);
+        a.on_issue(10, 2, 0x40, true);
+        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L2(3), 2, 1);
+        a.on_message(22, 30, MsgClass::MemRead, 0x40, Node::L2(3), 2, 1);
+        let lines = a.stall_lines(500, 8);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("tile 2"), "{}", lines[0]);
+        assert!(lines[0].contains("store"), "{}", lines[0]);
+        assert!(lines[0].contains("(in memory)"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn publish_exports_counters_and_hists() {
+        let mut a = TxAttribution::new(2);
+        a.on_issue(0, 0, 0x40, false);
+        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L2(1), 3, 1);
+        a.on_completion(12, 0);
+        let log = a.finish();
+        let mut reg = cmpsim_engine::MetricsRegistry::new();
+        log.publish("attr", &mut reg);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().collect();
+        assert_eq!(counters["attr.completed"], 1);
+        assert_eq!(counters["attr.reconciled"], 1);
+        assert_eq!(counters["attr.phase.req_net.cycles"], 10);
+        assert_eq!(counters["attr.events.tx.routing"], 3);
+        assert_eq!(reg.hists().count(), PHASES);
+    }
+}

@@ -5,23 +5,31 @@
 //!                 [--max-events N] [--check] [observability flags]
 //! cmpsim-cli stats [run options]                # run + full metrics registry dump
 //! cmpsim-cli matrix [--refs N] [--alt] [...]    # all protocols x one benchmark set
+//! cmpsim-cli breakdown [run options]            # Fig. 7/8-style latency & energy
+//!                                               # attribution, all four protocols
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
 //! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
 //!
-//! Observability flags (run / stats / matrix):
+//! Observability flags (run / stats / matrix / breakdown):
 //!
 //! ```text
-//! --trace-out <file>    record the coherence-transaction trace and
-//!                       write Chrome trace-event JSON (Perfetto-loadable)
-//! --interval <cycles>   sample an interval time-series every N cycles
-//! --series-out <file>   write the time-series (.csv -> CSV, else JSON)
-//! --metrics-out <file>  write the unified metrics registry as JSON
+//! --trace-out <file>      record the coherence-transaction trace and
+//!                         write Chrome trace-event JSON (Perfetto-loadable)
+//! --interval <cycles>     sample an interval time-series every N cycles
+//! --series-out <file>     write the time-series (.csv -> CSV, else JSON)
+//! --metrics-out <file>    write the unified metrics registry as JSON
+//! --attr                  per-transaction critical-path & energy attribution
+//! --breakdown-out <file>  write the attribution breakdown
+//!                         (.csv -> CSV, else JSON; implies --attr)
 //! ```
 //!
 //! `matrix` writes one file per cell, suffixing the protocol name
-//! before the extension.
+//! before the extension (the breakdown artifact is one combined file).
+//! Every simulating command prints a host self-profile line (wall-clock
+//! spans + simulated-cycles/s throughput) to **stderr**, keeping stdout
+//! and every artifact deterministic.
 //!
 //! Protocols: directory | dico | providers | arin.
 //! Benchmarks: apache | jbb | radix | lu | volrend | tomcatv |
@@ -34,7 +42,9 @@
 //! replay, often turning an end-state deadlock into the first broken
 //! invariant.
 
-use cmpsim::report::table;
+use cmpsim::report::{
+    breakdown_csv, breakdown_energy_table, breakdown_json, breakdown_latency_table, table,
+};
 use cmpsim::{
     run_benchmark, run_matrix, Benchmark, CmpSimulator, MissClass, Placement, ProtocolKind,
     ReplayArtifact, RunResult, SimError, SystemConfig,
@@ -78,6 +88,8 @@ struct Options {
     interval: Option<u64>,
     series_out: Option<String>,
     metrics_out: Option<String>,
+    attr: bool,
+    breakdown_out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -93,6 +105,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         interval: None,
         series_out: None,
         metrics_out: None,
+        attr: false,
+        breakdown_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -136,6 +150,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--metrics-out needs a file path")?;
                 o.metrics_out = Some(v.clone());
             }
+            "--attr" => o.attr = true,
+            "--breakdown-out" => {
+                let v = it.next().ok_or("--breakdown-out needs a file path")?;
+                o.breakdown_out = Some(v.clone());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -158,6 +177,9 @@ fn config(o: &Options) -> SystemConfig {
     }
     if let Some(n) = o.interval {
         cfg = cfg.with_interval(n);
+    }
+    if o.attr || o.breakdown_out.is_some() {
+        cfg = cfg.with_attribution();
     }
     cfg
 }
@@ -205,6 +227,30 @@ fn write_outputs(o: &Options, r: &RunResult, tag: Option<&str>) {
     if let Some(p) = &o.metrics_out {
         write_file(&name(p), &r.metrics_json(), "metrics");
     }
+    // The host self-profile is wall-clock (nondeterministic), so it
+    // goes to stderr only — stdout and every artifact stay
+    // deterministic and byte-comparable.
+    eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
+}
+
+/// Writes the combined breakdown artifact (CSV or JSON by extension).
+fn write_breakdown(path: &str, results: &[RunResult]) {
+    let body =
+        if path.ends_with(".csv") { breakdown_csv(results) } else { breakdown_json(results) };
+    write_file(path, &body, "breakdown");
+}
+
+/// Prints the Fig. 7/8-style attribution summary for one result on
+/// stdout (used by `run`/`stats` when `--attr` is on).
+fn print_breakdown_summary(r: &RunResult) {
+    let Some(b) = &r.breakdown else { return };
+    println!(
+        "  attribution: {} misses, {} reconciled exactly, {} still open",
+        b.completed, b.reconciled, b.open_txs
+    );
+    let slice = std::slice::from_ref(r);
+    println!("{}", breakdown_latency_table(slice));
+    println!("{}", breakdown_energy_table(slice));
 }
 
 /// Prints a simulation failure and exits (the replay artifact path is
@@ -233,6 +279,10 @@ fn cmd_run(o: &Options) {
     for class in MissClass::all() {
         println!("    {:<18} {:>6.1}%", class.label(), 100.0 * r.miss_class_frac(class));
     }
+    print_breakdown_summary(&r);
+    if let Some(p) = &o.breakdown_out {
+        write_breakdown(p, std::slice::from_ref(&r));
+    }
     write_outputs(o, &r, None);
 }
 
@@ -250,6 +300,9 @@ fn cmd_stats(o: &Options) {
     );
     println!();
     print!("{}", r.metrics().dump());
+    if let Some(p) = &o.breakdown_out {
+        write_breakdown(p, std::slice::from_ref(&r));
+    }
     write_outputs(o, &r, None);
 }
 
@@ -279,9 +332,52 @@ fn cmd_matrix(o: &Options) {
             &rows
         )
     );
+    if let Some(p) = &o.breakdown_out {
+        write_breakdown(p, &results);
+    }
     for r in &results {
         let tag = r.protocol.name().to_lowercase();
         write_outputs(o, r, Some(&tag));
+    }
+}
+
+/// `breakdown`: runs all four protocols with attribution on and prints
+/// the paper's Figure 7 (miss latency per critical-path phase) and
+/// Figure 8 (dynamic energy per structure) breakdowns.
+fn cmd_breakdown(o: &Options) {
+    let cfg = config(o).with_attribution();
+    let results =
+        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
+    println!(
+        "critical-path & energy attribution: {}{} at {} refs/core, seed {}",
+        o.benchmark.name(),
+        cfg.placement.suffix(),
+        cfg.refs_per_core,
+        cfg.seed
+    );
+    println!();
+    println!("miss latency by phase (avg cycles per miss, Fig. 7 style):");
+    println!("{}", breakdown_latency_table(&results));
+    println!("attributed dynamic energy by structure (uJ, Fig. 8 style):");
+    println!("{}", breakdown_energy_table(&results));
+    for r in &results {
+        let b = r.breakdown.as_ref().expect("attribution enabled");
+        let model = r.energy_model();
+        let tiled = r.counts_nj(&model, &b.total_counts());
+        println!(
+            "{:<10} {} misses, {} reconciled exactly; attributed {:.1} uJ of {:.1} uJ aggregate",
+            r.protocol.name(),
+            b.completed,
+            b.reconciled,
+            tiled / 1000.0,
+            r.total_dynamic_nj() / 1000.0,
+        );
+    }
+    if let Some(p) = &o.breakdown_out {
+        write_breakdown(p, &results);
+    }
+    for r in &results {
+        eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
     }
 }
 
@@ -375,7 +471,9 @@ fn main() {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: cmpsim-cli <run|stats|matrix|tables|replay|list> [options]");
+            eprintln!(
+                "usage: cmpsim-cli <run|stats|matrix|breakdown|tables|replay|list> [options]"
+            );
             std::process::exit(2);
         }
     };
@@ -405,10 +503,11 @@ fn main() {
                 }
             }
         }
-        "run" | "matrix" | "stats" => match parse_options(rest) {
+        "run" | "matrix" | "stats" | "breakdown" => match parse_options(rest) {
             Ok(o) => match cmd {
                 "run" => cmd_run(&o),
                 "stats" => cmd_stats(&o),
+                "breakdown" => cmd_breakdown(&o),
                 _ => cmd_matrix(&o),
             },
             Err(e) => {
@@ -417,7 +516,9 @@ fn main() {
             }
         },
         other => {
-            eprintln!("unknown command {other}; try run, stats, matrix, tables, replay, list");
+            eprintln!(
+                "unknown command {other}; try run, stats, matrix, breakdown, tables, replay, list"
+            );
             std::process::exit(2);
         }
     }

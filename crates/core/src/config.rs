@@ -56,6 +56,12 @@ pub struct SystemConfig {
     /// occupancy, directory/owner-cache hit rates and dynamic+static
     /// energy. `None` disables sampling.
     pub sample_interval: Option<u64>,
+    /// Per-transaction critical-path and energy attribution: decompose
+    /// every miss into typed phases (summing exactly to its latency)
+    /// and charge every dynamic-energy event to its causing
+    /// transaction. Observability only: simulated timing is identical
+    /// with or without it.
+    pub attribution: bool,
 }
 
 impl SystemConfig {
@@ -80,6 +86,7 @@ impl SystemConfig {
             tracing: false,
             trace_capacity: 65_536,
             sample_interval: None,
+            attribution: false,
         }
     }
 
@@ -103,6 +110,7 @@ impl SystemConfig {
             tracing: false,
             trace_capacity: 65_536,
             sample_interval: None,
+            attribution: false,
         }
     }
 
@@ -166,6 +174,13 @@ impl SystemConfig {
     /// cycles of the measured window.
     pub fn with_interval(mut self, cycles: u64) -> Self {
         self.sample_interval = Some(cycles.max(1));
+        self
+    }
+
+    /// Returns a copy with per-transaction critical-path and energy
+    /// attribution enabled.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
 

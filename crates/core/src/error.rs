@@ -110,6 +110,10 @@ pub struct StallReport {
     /// The last few coherence-trace events before the stall (rendered
     /// lines; empty unless the run had tracing enabled).
     pub trace_tail: Vec<String>,
+    /// Per-transaction phase timelines of the in-flight misses — which
+    /// phase each one is stuck in (rendered lines; empty unless the run
+    /// had attribution enabled).
+    pub phase_lines: Vec<String>,
     /// Replay artifact written for this failure, if any.
     pub artifact: Option<PathBuf>,
 }
@@ -256,6 +260,12 @@ impl fmt::Display for SimError {
                 if !r.trace_tail.is_empty() {
                     writeln!(f, "recent trace events:")?;
                     for line in &r.trace_tail {
+                        writeln!(f, "  {line}")?;
+                    }
+                }
+                if !r.phase_lines.is_empty() {
+                    writeln!(f, "in-flight miss phase timelines:")?;
+                    for line in &r.phase_lines {
                         writeln!(f, "  {line}")?;
                     }
                 }

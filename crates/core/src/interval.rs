@@ -15,6 +15,7 @@
 //! series stays deterministic.
 
 use crate::replay::Value;
+use cmpsim_engine::phase::{Phase, PHASES};
 use cmpsim_engine::Cycle;
 use cmpsim_protocols::Occupancy;
 use std::fmt::Write as _;
@@ -46,6 +47,9 @@ pub struct CumSnapshot {
     pub cache_nj: f64,
     /// Cumulative network dynamic energy (nJ).
     pub net_nj: f64,
+    /// Cumulative per-phase miss-latency cycles (attribution totals,
+    /// indexed by [`Phase::index`]; all zero when attribution is off).
+    pub phase: [u64; PHASES],
 }
 
 /// One interval's worth of activity.
@@ -89,6 +93,9 @@ pub struct IntervalSample {
     pub net_nj: f64,
     /// Static (leakage) energy over the interval (nJ).
     pub static_nj: f64,
+    /// Per-phase miss-latency cycles attributed to transactions that
+    /// completed in the interval (all zero when attribution is off).
+    pub phase: [u64; PHASES],
 }
 
 impl IntervalSample {
@@ -183,6 +190,7 @@ impl IntervalSampler {
             cache_nj: cum.cache_nj - self.prev.cache_nj,
             net_nj: cum.net_nj - self.prev.net_nj,
             static_nj: self.static_mw_per_tile * self.tiles as f64 * dur as f64 * 1e-3,
+            phase: std::array::from_fn(|i| cum.phase[i] - self.prev.phase[i]),
         });
         self.prev = cum.clone();
         self.window_start = end;
@@ -220,11 +228,14 @@ pub struct TimeSeries {
     pub samples: Vec<IntervalSample>,
 }
 
-/// CSV column headers, in emission order.
+/// CSV column headers, in emission order. The eight `phase_*` columns
+/// follow [`Phase::all`] order (attribution cycles; zero when off).
 const CSV_HEADER: &str = "start,end,cycles,refs,messages,hops,flit_links,contention_cycles,\
 link_util_mean,link_util_max,l1_occ,l2_occ,aux_occ,\
 pred_lookups,pred_hits,home_lookups,home_hits,\
-cache_dyn_nj,net_dyn_nj,static_nj,total_nj";
+cache_dyn_nj,net_dyn_nj,static_nj,total_nj,\
+phase_req_net,phase_home,phase_owner_ind,phase_memory,\
+phase_data_net,phase_inv,phase_retry,phase_fill";
 
 impl TimeSeries {
     /// Renders the series as CSV (deterministic, one row per sample).
@@ -235,7 +246,7 @@ impl TimeSeries {
             let _ = writeln!(
                 out,
                 "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},\
-                 {:.3},{:.3},{:.3},{:.3}",
+                 {:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{}",
                 s.start,
                 s.end,
                 s.cycles(),
@@ -257,6 +268,14 @@ impl TimeSeries {
                 s.net_nj,
                 s.static_nj,
                 s.total_nj(),
+                s.phase[0],
+                s.phase[1],
+                s.phase[2],
+                s.phase[3],
+                s.phase[4],
+                s.phase[5],
+                s.phase[6],
+                s.phase[7],
             );
         }
         out
@@ -290,6 +309,9 @@ impl TimeSeries {
                 r.set("cache_dyn_nj", Value::float(s.cache_nj));
                 r.set("net_dyn_nj", Value::float(s.net_nj));
                 r.set("static_nj", Value::float(s.static_nj));
+                for p in Phase::all() {
+                    r.set(&format!("phase_{}", p.key()), Value::uint(s.phase[p.index()]));
+                }
                 r
             })
             .collect();
@@ -319,6 +341,7 @@ mod tests {
             refs,
             cache_nj: refs as f64 * 0.5,
             net_nj: hops as f64 * 0.1,
+            phase: std::array::from_fn(|i| refs * (i as u64 + 1)),
         }
     }
 
@@ -334,6 +357,10 @@ mod tests {
         assert_eq!(ts.samples[0].refs, 40);
         assert_eq!(ts.samples[1].refs, 60);
         assert_eq!(ts.samples[1].hops, 120);
+        // Phase columns are deltas too (helper: phase[i] = refs * (i+1)).
+        assert_eq!(ts.samples[0].phase[0], 40);
+        assert_eq!(ts.samples[1].phase[0], 60);
+        assert_eq!(ts.samples[1].phase[7], 60 * 8);
         // 40 busy flit-cycles per link over a 100-cycle interval.
         assert!((ts.samples[0].link_util_mean - 0.4).abs() < 1e-12);
         assert!((ts.samples[0].link_util_max - 0.4).abs() < 1e-12);

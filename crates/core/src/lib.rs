@@ -51,6 +51,7 @@
 //! [`interval`]). Both are observation-only: simulated timing is
 //! identical with them on or off.
 
+pub mod attr;
 pub mod config;
 pub mod error;
 pub mod interval;
@@ -60,6 +61,7 @@ pub mod result;
 pub mod sim;
 pub mod trace;
 
+pub use attr::{BreakdownLog, TxAttribution};
 pub use config::SystemConfig;
 pub use error::{SimError, StallReason};
 pub use interval::{IntervalSample, IntervalSampler, TimeSeries};

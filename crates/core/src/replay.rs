@@ -297,6 +297,7 @@ fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
         tracing: false,
         trace_capacity: 65_536,
         sample_interval: None,
+        attribution: false,
     })
 }
 

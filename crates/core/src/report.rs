@@ -1,6 +1,18 @@
 //! Plain-text report formatting shared by the benchmark binaries and
 //! examples: aligned tables and normalized series, in the style of the
 //! paper's figures.
+//!
+//! The `breakdown_*` builders render the per-transaction attribution
+//! of a protocol sweep ([`RunResult::breakdown`]) in the style of the
+//! paper's Figure 7 (miss latency decomposed into critical-path
+//! phases) and Figure 8 (dynamic energy decomposed per structure),
+//! as aligned text, deterministic JSON, and CSV.
+
+use crate::replay::Value;
+use crate::result::RunResult;
+use cmpsim_engine::phase::Phase;
+use cmpsim_engine::EventCounts;
+use std::fmt::Write as _;
 
 /// Formats a table with a header row and aligned columns.
 pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -49,6 +61,166 @@ pub fn bar(value: f64, scale: f64) -> String {
 pub fn pct_delta(value: f64, base: f64) -> String {
     let d = 100.0 * (value / base - 1.0);
     format!("{:+.1}%", d)
+}
+
+/// The seven Figure-8 structure categories of one attributed
+/// event-count bucket, in nJ: `[l1_tag, l1_data, l2_tag, l2_data,
+/// aux, routing, links]`.
+fn bucket_categories_nj(r: &RunResult, c: &EventCounts) -> [f64; 7] {
+    let model = r.energy_model();
+    let cache = model.counts_cache_energy(c);
+    let net = model.counts_network_energy(c);
+    [cache.l1_tag, cache.l1_data, cache.l2_tag, cache.l2_data, cache.aux, net.routing, net.links]
+}
+
+/// Fig. 7-style table: average miss-latency cycles per critical-path
+/// phase, one row per attribution-enabled result (results without a
+/// breakdown are skipped).
+pub fn breakdown_latency_table(results: &[RunResult]) -> String {
+    let mut header = vec!["protocol"];
+    header.extend(Phase::all().iter().map(|p| p.key()));
+    header.push("total");
+    header.push("misses");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .filter_map(|r| r.breakdown.as_ref().map(|b| (r, b)))
+        .map(|(r, b)| {
+            let mut row = vec![r.protocol.name().to_string()];
+            row.extend(Phase::all().iter().map(|&p| format!("{:.1}", b.phase_avg(p))));
+            row.push(format!("{:.1}", r.avg_miss_latency()));
+            row.push(b.completed.to_string());
+            row
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+/// Fig. 8-style table: transaction-attributed dynamic energy per
+/// structure (uJ), one row per attribution-enabled result. The
+/// `background` column is traffic no open transaction caused (hits,
+/// writebacks, evictions); `total` tiles exactly into the aggregate
+/// dynamic energy of the run.
+pub fn breakdown_energy_table(results: &[RunResult]) -> String {
+    let header = [
+        "protocol", "l1_tag", "l1_data", "l2_tag", "l2_data", "aux", "routing", "links",
+        "tx total", "background", "total",
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .filter_map(|r| r.breakdown.as_ref().map(|b| (r, b)))
+        .map(|(r, b)| {
+            let model = r.energy_model();
+            let tx = bucket_categories_nj(r, &b.tx_counts);
+            let tx_total = r.counts_nj(&model, &b.tx_counts);
+            let mut background = b.untracked_counts;
+            background.merge(&b.open_counts);
+            let bg_total = r.counts_nj(&model, &background);
+            let mut row = vec![r.protocol.name().to_string()];
+            row.extend(tx.iter().map(|nj| format!("{:.1}", nj / 1000.0)));
+            row.push(format!("{:.1}", tx_total / 1000.0));
+            row.push(format!("{:.1}", bg_total / 1000.0));
+            row.push(format!("{:.1}", (tx_total + bg_total) / 1000.0));
+            row
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+/// Renders one event-count bucket as a JSON object (categories + total,
+/// nJ).
+fn bucket_json(r: &RunResult, c: &EventCounts) -> Value {
+    let cats = bucket_categories_nj(r, c);
+    let mut j = Value::object();
+    for (name, nj) in
+        ["l1_tag_nj", "l1_data_nj", "l2_tag_nj", "l2_data_nj", "aux_nj", "routing_nj", "links_nj"]
+            .iter()
+            .zip(cats.iter())
+    {
+        j.set(name, Value::float(*nj));
+    }
+    j.set("total_nj", Value::float(cats.iter().sum()));
+    j
+}
+
+/// Renders a breakdown sweep as a deterministic JSON document
+/// (validated by `schemas/breakdown.schema.json`). Results without a
+/// breakdown are skipped.
+pub fn breakdown_json(results: &[RunResult]) -> String {
+    let mut doc = Value::object();
+    doc.set("schema", Value::string("cmpsim-breakdown-v1"));
+    if let Some(r) = results.first() {
+        doc.set("benchmark", Value::string(r.benchmark.name()));
+    }
+    let protos = results
+        .iter()
+        .filter_map(|r| r.breakdown.as_ref().map(|b| (r, b)))
+        .map(|(r, b)| {
+            let mut p = Value::object();
+            p.set("protocol", Value::string(r.protocol.name()));
+            p.set("completed", Value::uint(b.completed));
+            p.set("reconciled", Value::uint(b.reconciled));
+            p.set("open_txs", Value::uint(b.open_txs));
+            p.set("latency_cycles", Value::uint(b.latency_cycles));
+            p.set("avg_miss_latency", Value::float(r.avg_miss_latency()));
+            p.set("mshr_wait_cycles", Value::uint(b.mshr_wait_cycles));
+            p.set("retry_wait_cycles", Value::uint(b.retry_wait_cycles));
+            let phases = Phase::all()
+                .iter()
+                .map(|&ph| {
+                    let mut v = Value::object();
+                    v.set("key", Value::string(ph.key()));
+                    v.set("label", Value::string(ph.label()));
+                    v.set("cycles", Value::uint(b.phase_cycles.get(ph)));
+                    v.set("avg", Value::float(b.phase_avg(ph)));
+                    v.set("frac", Value::float(b.phase_frac(ph)));
+                    v
+                })
+                .collect();
+            p.set("phases", Value::Arr(phases));
+            let model = r.energy_model();
+            let mut e = Value::object();
+            e.set("tx", bucket_json(r, &b.tx_counts));
+            e.set("untracked", bucket_json(r, &b.untracked_counts));
+            e.set("open", bucket_json(r, &b.open_counts));
+            e.set("attributed_nj", Value::float(r.counts_nj(&model, &b.total_counts())));
+            e.set("aggregate_dynamic_nj", Value::float(r.total_dynamic_nj()));
+            p.set("energy", e);
+            p
+        })
+        .collect();
+    doc.set("protocols", Value::Arr(protos));
+    let mut out = String::new();
+    doc.render_to(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Renders a breakdown sweep as CSV: one row per protocol, phase
+/// cycles then attributed energy buckets.
+pub fn breakdown_csv(results: &[RunResult]) -> String {
+    let mut out = String::from(
+        "protocol,completed,reconciled,latency_cycles,\
+         phase_req_net,phase_home,phase_owner_ind,phase_memory,\
+         phase_data_net,phase_inv,phase_retry,phase_fill,\
+         tx_nj,untracked_nj,open_nj,aggregate_dynamic_nj",
+    );
+    out.push('\n');
+    for (r, b) in results.iter().filter_map(|r| r.breakdown.as_ref().map(|b| (r, b))) {
+        let model = r.energy_model();
+        let _ = write!(out, "{},{},{},{}", r.protocol.name(), b.completed, b.reconciled, b.latency_cycles);
+        for &p in &Phase::all() {
+            let _ = write!(out, ",{}", b.phase_cycles.get(p));
+        }
+        let _ = writeln!(
+            out,
+            ",{:.3},{:.3},{:.3},{:.3}",
+            r.counts_nj(&model, &b.tx_counts),
+            r.counts_nj(&model, &b.untracked_counts),
+            r.counts_nj(&model, &b.open_counts),
+            r.total_dynamic_nj(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]

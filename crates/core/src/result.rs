@@ -1,10 +1,11 @@
 //! Results of one simulation run, with the derived metrics every report
 //! uses.
 
+use crate::attr::BreakdownLog;
 use crate::interval::TimeSeries;
 use crate::trace::TraceLog;
 use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
-use cmpsim_engine::Cycle;
+use cmpsim_engine::{Cycle, HostProfile};
 use cmpsim_noc::NocStats;
 use cmpsim_power::{CacheEnergy, EnergyModel, NetworkEnergy};
 use cmpsim_protocols::{MissClass, ProtoStats, ProtocolKind};
@@ -20,6 +21,10 @@ pub struct RunResult {
     pub benchmark: Benchmark,
     /// VM placement used.
     pub placement: Placement,
+    /// Tiles on the chip (energy-model geometry).
+    pub tiles: u64,
+    /// Consolidation areas on the chip (energy-model geometry).
+    pub areas: u64,
     /// Measured cycles (post-warm-up until the last core finished).
     pub cycles: Cycle,
     /// References completed in the measured window.
@@ -43,6 +48,11 @@ pub struct RunResult {
     pub timeseries: Option<TimeSeries>,
     /// Coherence-transaction trace, when tracing was enabled.
     pub trace: Option<TraceLog>,
+    /// Per-transaction latency/energy attribution, when enabled.
+    pub breakdown: Option<BreakdownLog>,
+    /// Host-side self-profile (wall-clock; nondeterministic — kept out
+    /// of every deterministic artifact, printed to stderr only).
+    pub host: HostProfile,
 }
 
 impl RunResult {
@@ -67,6 +77,8 @@ impl RunResult {
             protocol,
             benchmark,
             placement,
+            tiles,
+            areas,
             cycles,
             measured_refs,
             avg_finish,
@@ -78,6 +90,8 @@ impl RunResult {
             dedup_savings,
             timeseries: None,
             trace: None,
+            breakdown: None,
+            host: HostProfile::default(),
         }
     }
 
@@ -106,7 +120,26 @@ impl RunResult {
             reg.set_counter("trace.buffered_events", t.ring.len() as u64);
             reg.set_counter("trace.dropped_events", t.ring.dropped());
         }
+        if let Some(b) = &self.breakdown {
+            b.publish("attr", &mut reg);
+            let model = self.energy_model();
+            reg.set_gauge("attr.energy.tx_nj", self.counts_nj(&model, &b.tx_counts));
+            reg.set_gauge(
+                "attr.energy.untracked_nj",
+                self.counts_nj(&model, &b.untracked_counts),
+            );
+        }
         reg
+    }
+
+    /// The energy table this result was collected with.
+    pub fn energy_model(&self) -> EnergyModel {
+        EnergyModel::new(self.protocol, self.tiles, self.areas)
+    }
+
+    /// Total dynamic energy (nJ) of one attributed event-count bucket.
+    pub fn counts_nj(&self, model: &EnergyModel, c: &cmpsim_engine::EventCounts) -> f64 {
+        model.counts_cache_energy(c).total() + model.counts_network_energy(c).total()
     }
 
     /// The registry rendered as deterministic JSON.

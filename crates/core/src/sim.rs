@@ -1,6 +1,7 @@
 //! The whole-chip simulator: cores, NoC, memory controllers and one
 //! coherence protocol, driven by a deterministic event loop.
 
+use crate::attr::{classify, MsgClass, TxAttribution};
 use crate::config::SystemConfig;
 use crate::error::{
     CoreStallState, HotBlock, InFlightMsg, InvariantReport, ProtocolFault, SimError, StallReason,
@@ -11,7 +12,7 @@ use crate::replay::ReplayArtifact;
 use crate::result::RunResult;
 use crate::trace::TxTracer;
 use cmpsim_engine::par::par_map;
-use cmpsim_engine::{Cycle, EventQueue, SimRng};
+use cmpsim_engine::{Cycle, EventCounts, EventQueue, HostProfiler, SimRng};
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
 use cmpsim_protocols::checker::StepChecker;
@@ -21,7 +22,7 @@ use cmpsim_protocols::common::{
 use cmpsim_protocols::dico::DiCo;
 use cmpsim_protocols::directory::Directory;
 use cmpsim_protocols::providers::Providers;
-use cmpsim_protocols::ProtocolKind;
+use cmpsim_protocols::{ProtoStats, ProtocolKind};
 use cmpsim_virt::mem::LogicalPage;
 use cmpsim_virt::MachineMemory;
 use cmpsim_workloads::{Benchmark, CoreStream};
@@ -43,6 +44,21 @@ enum Ev {
     CoreResume(Tile),
     /// A coherence message arrives.
     Deliver(Msg),
+}
+
+/// The cache-structure counters attribution charges per dispatch, in
+/// [`EventCounts`] field order (the two network counters are charged
+/// per message instead).
+fn cache_counts(ps: &ProtoStats) -> [u64; 7] {
+    [
+        ps.l1_tag.get(),
+        ps.l1_data_read.get() + ps.l1_data_write.get(),
+        ps.l2_tag.get(),
+        ps.l2_data_read.get() + ps.l2_data_write.get(),
+        ps.dir_access.get(),
+        ps.l1c_access.get(),
+        ps.l2c_access.get(),
+    ]
 }
 
 struct Core {
@@ -82,6 +98,9 @@ pub struct CmpSimulator {
     checker: Option<StepChecker>,
     /// Coherence-transaction tracer (from `cfg.tracing`).
     tracer: Option<TxTracer>,
+    /// Per-transaction critical-path and energy attribution (from
+    /// `cfg.attribution`).
+    attr: Option<TxAttribution>,
     /// Interval time-series sampler; created when the warm-up window
     /// ends (from `cfg.sample_interval`).
     sampler: Option<IntervalSampler>,
@@ -139,6 +158,7 @@ impl CmpSimulator {
             last_progress: 0,
             checker: cfg.check_invariants.then(StepChecker::new),
             tracer: cfg.tracing.then(|| TxTracer::new(tiles, cfg.trace_capacity)),
+            attr: cfg.attribution.then(|| TxAttribution::new(tiles)),
             sampler: None,
             energy_model: None,
             cfg: cfg.clone(),
@@ -158,6 +178,36 @@ impl CmpSimulator {
             self.cfg.noc.data_flits
         } else {
             self.cfg.noc.control_flits
+        }
+    }
+
+    /// Snapshot of the cache-structure counters before a protocol
+    /// dispatch (`None` when attribution is off). Paired with
+    /// [`Self::attr_record_cache_delta`] around every `core_access` /
+    /// `handle` call so each dispatch's energy events charge to the
+    /// transaction that caused them.
+    fn attr_cache_base(&self) -> Option<[u64; 7]> {
+        self.attr.as_ref().map(|_| cache_counts(self.proto.stats()))
+    }
+
+    /// Charges the cache-counter delta since `base` to the transaction
+    /// open on `block` (or the untracked bucket when none is).
+    fn attr_record_cache_delta(&mut self, block: Block, base: Option<[u64; 7]>) {
+        let Some(base) = base else { return };
+        let cur = cache_counts(self.proto.stats());
+        if let Some(a) = &mut self.attr {
+            let delta = EventCounts {
+                l1_tag: cur[0] - base[0],
+                l1_data: cur[1] - base[1],
+                l2_tag: cur[2] - base[2],
+                l2_data: cur[3] - base[3],
+                dir: cur[4] - base[4],
+                l1c: cur[5] - base[5],
+                l2c: cur[6] - base[6],
+                routing: 0,
+                flit_links: 0,
+            };
+            a.on_cache_events(block, delta);
         }
     }
 
@@ -188,6 +238,17 @@ impl CmpSimulator {
                     d.links,
                 );
             }
+            if let Some(a) = &mut self.attr {
+                a.on_message(
+                    now + out.delay,
+                    d.arrival,
+                    classify(&out.msg.kind, out.msg.src),
+                    out.msg.block,
+                    out.msg.dst,
+                    d.links,
+                    flits,
+                );
+            }
             self.deliver(d.arrival, out.msg);
         }
         for b in ctx.bcasts {
@@ -197,12 +258,32 @@ impl CmpSimulator {
                 self.cfg.noc.control_flits
             };
             let arrivals = self.mesh.broadcast(now + b.delay, b.src.tile(), flits);
+            let end = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(now + b.delay);
+            // The spanning-tree broadcast charges tiles - 1 links.
+            let bcast_links = (self.cfg.tiles() - 1) as u64;
             if let Some(tr) = &mut self.tracer {
-                let end = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(now + b.delay);
                 let src = b.src.tile();
-                // The spanning-tree broadcast charges tiles - 1 links.
-                let links = (self.cfg.tiles() - 1) as u64;
-                tr.on_message(now + b.delay, end, b.kind.label(), "bcast", b.block, src, src, links);
+                tr.on_message(
+                    now + b.delay,
+                    end,
+                    b.kind.label(),
+                    "bcast",
+                    b.block,
+                    src,
+                    src,
+                    bcast_links,
+                );
+            }
+            if let Some(a) = &mut self.attr {
+                a.on_message(
+                    now + b.delay,
+                    end,
+                    classify(&b.kind, b.src),
+                    b.block,
+                    b.src,
+                    bcast_links,
+                    flits,
+                );
             }
             for (t, at) in arrivals {
                 if Some(t) == b.exclude {
@@ -242,6 +323,18 @@ impl CmpSimulator {
                     d.links,
                 );
             }
+            if let Some(a) = &mut self.attr {
+                let class = if op.is_write { MsgClass::MemWrite } else { MsgClass::MemRead };
+                a.on_message(
+                    now + op.delay,
+                    d.arrival,
+                    class,
+                    op.block,
+                    Node::L2(ctrl_tile),
+                    d.links,
+                    flits,
+                );
+            }
             let start = d.arrival.max(self.ctrl_free[ctrl]);
             self.ctrl_free[ctrl] = start + self.cfg.mem_service;
             if !op.is_write {
@@ -260,6 +353,17 @@ impl CmpSimulator {
                         back.links,
                     );
                 }
+                if let Some(a) = &mut self.attr {
+                    a.on_message(
+                        ready,
+                        back.arrival,
+                        MsgClass::MemData,
+                        op.block,
+                        Node::L2(op.home),
+                        back.links,
+                        self.cfg.noc.data_flits,
+                    );
+                }
                 self.deliver(
                     back.arrival,
                     Msg {
@@ -274,6 +378,9 @@ impl CmpSimulator {
         for c in ctx.completions {
             if let Some(tr) = &mut self.tracer {
                 tr.on_completion(now, c.tile);
+            }
+            if let Some(a) = &mut self.attr {
+                a.on_completion(now, c.tile);
             }
             let core = &mut self.cores[c.tile];
             debug_assert!(core.outstanding, "completion without outstanding access");
@@ -312,6 +419,7 @@ impl CmpSimulator {
             chk.record_access(now, tile, block, write);
         }
         let mut ctx = Ctx::at(now);
+        let attr_base = self.attr_cache_base();
         let outcome = match self.proto.core_access(&mut ctx, tile, block, write) {
             Ok(o) => o,
             Err(e) => return Err(self.protocol_fault(now, e)),
@@ -321,6 +429,7 @@ impl CmpSimulator {
                 self.cores[tile].pending = None;
                 self.cores[tile].refs_done += 1;
                 self.last_progress = now;
+                self.attr_record_cache_delta(block, attr_base);
                 self.apply_ctx(now, ctx);
                 self.queue.push(now + latency, Ev::CoreResume(tile));
             }
@@ -328,13 +437,25 @@ impl CmpSimulator {
                 self.cores[tile].pending = None;
                 self.cores[tile].outstanding = true;
                 // Open the transaction before routing the request so
-                // its own messages attribute to it.
+                // its own messages (and this dispatch's cache probes)
+                // attribute to it.
                 if let Some(tr) = &mut self.tracer {
                     tr.on_issue(now, tile, block, write);
                 }
+                if let Some(a) = &mut self.attr {
+                    a.on_issue(now, tile, block, write);
+                }
+                self.attr_record_cache_delta(block, attr_base);
                 self.apply_ctx(now, ctx);
             }
-            AccessOutcome::Blocked => {
+            AccessOutcome::Blocked { reason } => {
+                self.attr_record_cache_delta(block, attr_base);
+                // The 7-cycle retry below is a pre-issue wait: it is
+                // accounted chip-wide by reason, outside the per-miss
+                // reconciliation window (the miss has not opened yet).
+                if let Some(a) = &mut self.attr {
+                    a.on_blocked(reason, 7);
+                }
                 self.apply_ctx(now, ctx);
                 self.queue.push(now + 7, Ev::CoreResume(tile));
             }
@@ -404,6 +525,7 @@ impl CmpSimulator {
             pending_summary: self.proto.pending_summary(),
             hot_blocks,
             trace_tail: self.tracer.as_ref().map(|t| t.tail_lines(16)).unwrap_or_default(),
+            phase_lines: self.attr.as_ref().map(|a| a.stall_lines(now, 8)).unwrap_or_default(),
             artifact: None,
         }))
     }
@@ -463,6 +585,13 @@ impl CmpSimulator {
             if let Some(tr) = &mut self.tracer {
                 tr.reset();
             }
+            // Attribution likewise: aggregates zero with the stats, and
+            // open transactions keep their recorded spans so misses
+            // straddling the boundary still reconcile against the
+            // protocol's full-latency miss record.
+            if let Some(a) = &mut self.attr {
+                a.reset();
+            }
             if let Some(interval) = self.cfg.sample_interval {
                 let tiles = self.cfg.tiles() as u64;
                 let areas = self.cfg.chip.num_areas() as u64;
@@ -503,6 +632,7 @@ impl CmpSimulator {
             refs: self.cores.iter().map(|c| c.refs_done).sum(),
             cache_nj: model.cache_energy(ps).total(),
             net_nj: model.network_energy(ns).total(),
+            phase: self.attr.as_ref().map(|a| a.phase_totals().0).unwrap_or_default(),
         }
     }
 
@@ -530,12 +660,14 @@ impl CmpSimulator {
     /// with unfinished cores all abort into [`SimError::Stalled`] with
     /// a structured dump instead of spinning or panicking.
     pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut prof = HostProfiler::new();
         let tiles = self.cores.len();
         for t in 0..tiles {
             self.queue.push(0, Ev::CoreResume(t));
         }
         let budget = self.cfg.event_budget();
         let stall_window = self.cfg.stall_window;
+        let loop_start = std::time::Instant::now();
         while let Some((now, ev)) = self.queue.pop() {
             self.events += 1;
             if self.events > budget {
@@ -562,9 +694,13 @@ impl CmpSimulator {
                         }
                     }
                     let mut ctx = Ctx::at(now);
+                    let attr_base = self.attr_cache_base();
                     if let Err(e) = self.proto.handle(&mut ctx, msg) {
                         return Err(self.protocol_fault(now, e));
                     }
+                    // Charge this dispatch's cache events before the
+                    // Ctx is applied (which may close the transaction).
+                    self.attr_record_cache_delta(msg.block, attr_base);
                     self.apply_ctx(now, ctx);
                     self.check_invariants(now, &msg)?;
                 }
@@ -572,6 +708,7 @@ impl CmpSimulator {
             self.maybe_finish_warmup(now);
             self.maybe_sample(now);
         }
+        prof.record("event_loop", loop_start.elapsed().as_nanos() as u64);
         // The queue drained; anything left unfinished means a message or
         // wakeup was lost (no event remains that could ever revive it).
         let now = self.queue.now();
@@ -580,6 +717,7 @@ impl CmpSimulator {
             return Err(self.stall_error(now, StallReason::IncompleteDrain));
         }
 
+        let finalize_start = std::time::Instant::now();
         let last_finish =
             self.cores.iter().map(|c| c.finished_at.unwrap_or(0)).max().unwrap_or(0);
         let avg_finish = self.cores.iter().map(|c| c.finished_at.unwrap_or(0) as f64).sum::<f64>()
@@ -617,6 +755,9 @@ impl CmpSimulator {
         );
         result.timeseries = timeseries;
         result.trace = trace;
+        result.breakdown = self.attr.take().map(TxAttribution::finish);
+        prof.record("finalize", finalize_start.elapsed().as_nanos() as u64);
+        result.host = prof.finish(self.events, result.cycles);
         Ok(result)
     }
 }
@@ -767,6 +908,37 @@ mod tests {
             let r = run_benchmark(kind, Benchmark::Radix, &cfg)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert!(r.measured_refs > 0);
+        }
+    }
+
+    #[test]
+    fn attribution_does_not_change_timing() {
+        let cfg = SystemConfig::smoke();
+        let plain = run_benchmark(ProtocolKind::DiCoArin, Benchmark::Apache, &cfg).expect("run");
+        let attributed = run_benchmark(
+            ProtocolKind::DiCoArin,
+            Benchmark::Apache,
+            &cfg.clone().with_attribution(),
+        )
+        .expect("attributed run");
+        assert_eq!(plain.cycles, attributed.cycles);
+        assert_eq!(plain.measured_refs, attributed.measured_refs);
+        assert_eq!(plain.noc_stats.messages.get(), attributed.noc_stats.messages.get());
+        assert!(plain.breakdown.is_none());
+        assert!(attributed.breakdown.is_some());
+    }
+
+    #[test]
+    fn attribution_reconciles_every_miss() {
+        let cfg = SystemConfig::smoke().with_attribution();
+        for kind in ProtocolKind::all() {
+            let r = run_benchmark(kind, Benchmark::Radix, &cfg).expect("run");
+            let b = r.breakdown.as_ref().expect("breakdown enabled");
+            assert_eq!(b.completed, r.proto_stats.miss_latency.count(), "{kind:?}");
+            assert_eq!(b.reconciled, b.completed, "{kind:?} must reconcile every miss");
+            assert_eq!(b.phase_cycles.total(), b.latency_cycles, "{kind:?}");
+            assert_eq!(b.latency_cycles, r.proto_stats.miss_latency.sum(), "{kind:?}");
+            assert_eq!(b.open_txs, 0, "{kind:?}: a drained run leaves no open tx");
         }
     }
 

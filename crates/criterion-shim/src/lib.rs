@@ -11,9 +11,81 @@
 //! wall-clock measurement loop instead of criterion's statistical
 //! machinery. Reported numbers are mean/min nanoseconds per iteration;
 //! there is no outlier analysis, plotting, or baseline comparison.
+//!
+//! # Machine-readable output
+//!
+//! When the `CMPSIM_BENCH_DIR` environment variable names a directory,
+//! each bench target additionally writes `BENCH_<target>.json` there
+//! (every benchmark id with mean/min ns per iteration) and appends one
+//! JSON line per invocation to `bench_trajectory.jsonl` — an
+//! append-only performance trajectory CI can diff across commits.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's collected measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Results collected by every `report` call in this process, drained by
+/// [`finish_run`].
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the machine-readable artifacts for one bench target run.
+/// Called by `criterion_main!` after every group has run; a no-op
+/// unless `CMPSIM_BENCH_DIR` is set. Never panics: benches still
+/// report to stdout when the directory is unwritable.
+pub fn finish_run(target: &str) {
+    let Ok(dir) = std::env::var("CMPSIM_BENCH_DIR") else { return };
+    let records = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}",
+                json_escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.samples
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"bench\":\"{}\",\"unix_ms\":{},\"results\":[{}]}}\n",
+        json_escape(target),
+        unix_ms,
+        rows.join(",")
+    );
+    let path = format!("{dir}/BENCH_{target}.json");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("criterion-shim: cannot write {path}: {e}");
+        return;
+    }
+    // The trajectory file accumulates one record per run, so perf can
+    // be compared across commits without parsing stdout.
+    let traj = format!("{dir}/bench_trajectory.jsonl");
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&traj) {
+        Ok(mut f) => {
+            let _ = f.write_all(doc.as_bytes());
+        }
+        Err(e) => eprintln!("criterion-shim: cannot append {traj}: {e}"),
+    }
+}
 
 /// Identifies one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -62,6 +134,12 @@ fn report(id: &str, samples: &[Duration]) {
     let mean = ns.iter().sum::<u128>() / ns.len() as u128;
     let min = *ns.iter().min().expect("non-empty");
     println!("{id:<40} mean {mean:>12} ns/iter   min {min:>12} ns/iter   ({} samples)", ns.len());
+    RESULTS.lock().expect("results lock").push(Record {
+        id: id.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        samples: ns.len(),
+    });
 }
 
 /// Benchmark registry and runner (simplified).
@@ -140,12 +218,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the listed groups.
+/// Generates `main` running the listed groups, then writing the
+/// machine-readable artifacts when `CMPSIM_BENCH_DIR` is set
+/// (`BENCH_<target>.json` plus a `bench_trajectory.jsonl` append).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finish_run(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -180,5 +261,24 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn finish_run_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::env::set_var("CMPSIM_BENCH_DIR", &dir);
+        let mut c = Criterion::default();
+        c.bench_function("artifact/check", |b| b.iter(|| 1 + 1));
+        finish_run("shimtest");
+        std::env::remove_var("CMPSIM_BENCH_DIR");
+        let json =
+            std::fs::read_to_string(dir.join("BENCH_shimtest.json")).expect("bench artifact");
+        assert!(json.contains("\"bench\":\"shimtest\""), "{json}");
+        assert!(json.contains("\"id\":\"artifact/check\""), "{json}");
+        let traj =
+            std::fs::read_to_string(dir.join("bench_trajectory.jsonl")).expect("trajectory");
+        assert!(traj.lines().count() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,6 +21,11 @@
 //!   stat structs, and deterministic text/JSON export.
 //! * [`trace`] — a bounded drop-oldest ring of trace events with Chrome
 //!   trace-event (Perfetto-loadable) JSON export.
+//! * [`phase`] — the critical-path phase taxonomy and per-transaction
+//!   cycle/energy-event accumulators used by the attribution profiler.
+//! * [`profile`] — host-side scoped wall-clock timers and the
+//!   simulated-cycles/sec throughput summary (stderr-only; never part
+//!   of deterministic artifacts).
 //! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
 //!   used to run independent simulations (protocol × workload sweeps) on
 //!   all host cores.
@@ -32,11 +37,15 @@
 pub mod event;
 pub mod metrics;
 pub mod par;
+pub mod phase;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use event::{Cycle, EventQueue};
 pub use metrics::{MetricSource, MetricsRegistry};
+pub use phase::{EventCounts, Phase, PhaseCycles};
+pub use profile::{HostProfile, HostProfiler};
 pub use rng::SimRng;
 pub use trace::{TraceEvent, TraceRing};

@@ -1,0 +1,249 @@
+//! Critical-path phase taxonomy for coherence-transaction attribution.
+//!
+//! An L1 miss's lifetime is decomposed into the typed phases of the
+//! paper's Figure 7: request traversal, home/directory access and
+//! queueing, owner indirection, memory access, data response,
+//! invalidation waits, NACK/retry loops and the final fill at the
+//! requestor. [`PhaseCycles`] is the fixed-size accumulator the
+//! attribution layer fills per transaction; the hard invariant is that
+//! its [`total`](PhaseCycles::total) equals the transaction's measured
+//! end-to-end miss latency exactly.
+//!
+//! [`EventCounts`] is the matching energy-side accumulator: integer
+//! counts of the dynamic-energy-bearing events (cache array and
+//! directory/coherence-info accesses, NoC routing and flit-link
+//! traversals) attributed to a transaction. Summing the per-transaction
+//! counts plus the untracked bucket reproduces the aggregate power
+//! counters integer-exactly.
+
+/// Number of critical-path phases.
+pub const PHASES: usize = 8;
+
+/// One critical-path phase of a coherence transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Request traversal: the GetS/GetX in flight from the requestor,
+    /// plus the L1 lookup before it departs.
+    ReqNet,
+    /// Home/directory access and queueing: cycles spent at the ordering
+    /// point (directory lookup, block queues, registration traffic).
+    Home,
+    /// Owner indirection: a forwarded request travelling to, or parked
+    /// at, the owning L1 (the $-$-$ hop the DiCo family removes).
+    OwnerInd,
+    /// Off-chip memory: controller queueing plus DRAM access, bracketed
+    /// by the MemRead/MemData controller messages.
+    Memory,
+    /// Data response travelling back to the requestor.
+    DataNet,
+    /// Invalidation traffic: invalidations, acks and broadcast rounds
+    /// the transaction waits on.
+    Inv,
+    /// NACK/retry loops: ownership recalls and their failures.
+    Retry,
+    /// Fill: cycles at the requestor after the data arrived, up to the
+    /// completion the protocol reports (L1 fill latency).
+    Fill,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const fn all() -> [Phase; PHASES] {
+        [
+            Phase::ReqNet,
+            Phase::Home,
+            Phase::OwnerInd,
+            Phase::Memory,
+            Phase::DataNet,
+            Phase::Inv,
+            Phase::Retry,
+            Phase::Fill,
+        ]
+    }
+
+    /// Stable machine-readable name (metric keys, CSV/JSON columns).
+    pub const fn key(self) -> &'static str {
+        match self {
+            Phase::ReqNet => "req_net",
+            Phase::Home => "home",
+            Phase::OwnerInd => "owner_ind",
+            Phase::Memory => "memory",
+            Phase::DataNet => "data_net",
+            Phase::Inv => "inv",
+            Phase::Retry => "retry",
+            Phase::Fill => "fill",
+        }
+    }
+
+    /// Human-readable label for text reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::ReqNet => "request net",
+            Phase::Home => "home/dir",
+            Phase::OwnerInd => "owner ind.",
+            Phase::Memory => "memory",
+            Phase::DataNet => "data net",
+            Phase::Inv => "invalidation",
+            Phase::Retry => "retry/nack",
+            Phase::Fill => "fill",
+        }
+    }
+
+    /// Index into a [`PhaseCycles`] array.
+    pub const fn index(self) -> usize {
+        match self {
+            Phase::ReqNet => 0,
+            Phase::Home => 1,
+            Phase::OwnerInd => 2,
+            Phase::Memory => 3,
+            Phase::DataNet => 4,
+            Phase::Inv => 5,
+            Phase::Retry => 6,
+            Phase::Fill => 7,
+        }
+    }
+}
+
+/// Per-phase cycle accumulator (one slot per [`Phase`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles(pub [u64; PHASES]);
+
+impl PhaseCycles {
+    /// Adds `cycles` to `phase`.
+    pub fn add(&mut self, phase: Phase, cycles: u64) {
+        self.0[phase.index()] += cycles;
+    }
+
+    /// Cycles accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.0[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Adds every slot of `other` into `self`.
+    pub fn merge(&mut self, other: &PhaseCycles) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(phase, cycles)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::all().into_iter().map(move |p| (p, self.get(p)))
+    }
+}
+
+/// Number of event-count slots in [`EventCounts`].
+pub const EVENT_KINDS: usize = 9;
+
+/// Integer counts of dynamic-energy-bearing events attributed to one
+/// transaction (or to the untracked background bucket). The first seven
+/// slots mirror the cache-side aggregate counters the energy model
+/// charges; the last two mirror the NoC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// L1 tag array lookups.
+    pub l1_tag: u64,
+    /// L1 data array accesses (reads + writes).
+    pub l1_data: u64,
+    /// L2 tag array lookups.
+    pub l2_tag: u64,
+    /// L2 data array accesses (reads + writes).
+    pub l2_data: u64,
+    /// Directory accesses (Directory protocol only).
+    pub dir: u64,
+    /// L1 coherence-info (L1C$) accesses (DiCo family).
+    pub l1c: u64,
+    /// L2 coherence-info (L2C$) accesses (DiCo family).
+    pub l2c: u64,
+    /// NoC routing events (per-message link traversals).
+    pub routing: u64,
+    /// NoC flit-link traversals (links x flits).
+    pub flit_links: u64,
+}
+
+impl EventCounts {
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.l1_tag += other.l1_tag;
+        self.l1_data += other.l1_data;
+        self.l2_tag += other.l2_tag;
+        self.l2_data += other.l2_data;
+        self.dir += other.dir;
+        self.l1c += other.l1c;
+        self.l2c += other.l2c;
+        self.routing += other.routing;
+        self.flit_links += other.flit_links;
+    }
+
+    /// True when every count is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == EventCounts::default()
+    }
+
+    /// `(key, count)` pairs in stable order (metric keys, JSON fields).
+    pub fn fields(&self) -> [(&'static str, u64); EVENT_KINDS] {
+        [
+            ("l1_tag", self.l1_tag),
+            ("l1_data", self.l1_data),
+            ("l2_tag", self.l2_tag),
+            ("l2_data", self.l2_data),
+            ("dir", self.dir),
+            ("l1c", self.l1c),
+            ("l2c", self.l2c),
+            ("routing", self.routing),
+            ("flit_links", self.flit_links),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, p) in Phase::all().into_iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let keys: Vec<&str> = Phase::all().iter().map(|p| p.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn cycles_accumulate_and_total() {
+        let mut pc = PhaseCycles::default();
+        pc.add(Phase::Home, 10);
+        pc.add(Phase::Home, 5);
+        pc.add(Phase::Fill, 3);
+        assert_eq!(pc.get(Phase::Home), 15);
+        assert_eq!(pc.total(), 18);
+        let mut other = PhaseCycles::default();
+        other.add(Phase::Memory, 7);
+        pc.merge(&other);
+        assert_eq!(pc.total(), 25);
+    }
+
+    #[test]
+    fn event_counts_merge() {
+        let mut a = EventCounts { l1_tag: 1, routing: 2, ..Default::default() };
+        let b = EventCounts { l1_tag: 3, flit_links: 8, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.l1_tag, 4);
+        assert_eq!(a.routing, 2);
+        assert_eq!(a.flit_links, 8);
+        assert!(!a.is_zero());
+        assert!(EventCounts::default().is_zero());
+    }
+}

@@ -277,6 +277,13 @@ impl Mesh {
         let nlinks = (self.cfg.tiles() - 1) as u64;
         self.stats.routing_events.add(nlinks);
         self.stats.flit_link_traversals.add(nlinks * flits);
+        // Per-destination delivery latency. Kept out of the unicast
+        // `message_latency` Running: tree deliveries are a different
+        // population (one injection, tiles - 1 arrivals) and would skew
+        // the point-to-point figure.
+        for &(_, at) in &arrivals {
+            self.stats.broadcast_latency.record(at - now);
+        }
         arrivals
     }
 
@@ -404,6 +411,20 @@ mod tests {
         assert_eq!(m.stats().routing_events.get(), 63);
         assert_eq!(m.stats().flit_link_traversals.get(), 63);
         assert_eq!(m.stats().broadcasts.get(), 1);
+    }
+
+    #[test]
+    fn broadcast_latency_recorded_per_destination() {
+        let mut m = Mesh::new(NocConfig { model_contention: false, ..NocConfig::default() });
+        m.send(0, 0, 1, 1);
+        m.broadcast(100, 0, 1);
+        // One unicast record, 63 broadcast records — separate populations.
+        assert_eq!(m.stats().message_latency.count(), 1);
+        assert_eq!(m.stats().broadcast_latency.count(), 63);
+        // Idle network: nearest neighbor = one hop (5 cycles), far corner
+        // = 14 hops (70 cycles).
+        assert_eq!(m.stats().broadcast_latency.min(), Some(5));
+        assert_eq!(m.stats().broadcast_latency.max(), Some(70));
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct NocStats {
     pub links_per_message: Running,
     /// End-to-end latency per unicast message.
     pub message_latency: Running,
+    /// Per-destination delivery latency of broadcast/tree deliveries
+    /// (one record per reached tile). Kept separate from the unicast
+    /// `message_latency` so the two populations aren't conflated.
+    pub broadcast_latency: Running,
 }
 
 impl NocStats {
@@ -57,6 +61,7 @@ impl NocStats {
         self.contention_cycles.add(o.contention_cycles.get());
         self.links_per_message.merge(&o.links_per_message);
         self.message_latency.merge(&o.message_latency);
+        self.broadcast_latency.merge(&o.broadcast_latency);
     }
 }
 
@@ -75,6 +80,7 @@ impl MetricSource for NocStats {
         }
         publish_running(&self.links_per_message, &format!("{prefix}.links_per_message"), reg);
         publish_running(&self.message_latency, &format!("{prefix}.message_latency"), reg);
+        publish_running(&self.broadcast_latency, &format!("{prefix}.broadcast_latency"), reg);
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::structures::{all_structures, ChipGeometry, Structure};
 use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
+use cmpsim_engine::phase::EventCounts;
 use cmpsim_noc::NocStats;
 use cmpsim_protocols::{ProtoStats, ProtocolKind};
 
@@ -160,6 +161,33 @@ impl EnergyModel {
             links: self.e_flit * n.flit_link_traversals.get() as f64,
         }
     }
+
+    /// Cache-side energy of attributed per-transaction event counts.
+    ///
+    /// Uses the same per-structure multiplications and summation order
+    /// as [`cache_energy`](Self::cache_energy), so counts that sum to
+    /// the aggregate [`ProtoStats`] counters produce a bit-identical
+    /// total — the tiling invariant the attribution tests assert.
+    pub fn counts_cache_energy(&self, c: &EventCounts) -> CacheEnergy {
+        CacheEnergy {
+            l1_tag: self.e_l1_tag * c.l1_tag as f64,
+            l1_data: self.e_l1_data * c.l1_data as f64,
+            l2_tag: self.e_l2_tag * c.l2_tag as f64,
+            l2_data: self.e_l2_data * c.l2_data as f64,
+            aux: self.e_dir * c.dir as f64
+                + self.e_l1c * c.l1c as f64
+                + self.e_l2c * c.l2c as f64,
+        }
+    }
+
+    /// Network energy of attributed per-transaction event counts
+    /// (mirrors [`network_energy`](Self::network_energy)).
+    pub fn counts_network_energy(&self, c: &EventCounts) -> NetworkEnergy {
+        NetworkEnergy {
+            routing: self.e_route * c.routing as f64,
+            links: self.e_flit * c.flit_links as f64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +200,42 @@ mod tests {
         let m = EnergyModel::new(ProtocolKind::Directory, 64, 4);
         assert!((m.e_route - m.e_l1_data).abs() < 1e-12);
         assert!((m.e_route / m.e_flit - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_energy_matches_aggregate_energy() {
+        // Attributed counts equal to the aggregate counters must yield a
+        // bit-identical energy total (the tiling invariant).
+        let m = EnergyModel::new(ProtocolKind::DiCo, 16, 4);
+        let s = ProtoStats {
+            l1_tag: Counter(101),
+            l1_data_read: Counter(40),
+            l1_data_write: Counter(13),
+            l2_tag: Counter(77),
+            l2_data_read: Counter(20),
+            l2_data_write: Counter(5),
+            l1c_access: Counter(31),
+            l2c_access: Counter(64),
+            ..Default::default()
+        };
+        let c = EventCounts {
+            l1_tag: 101,
+            l1_data: 53,
+            l2_tag: 77,
+            l2_data: 25,
+            dir: 0,
+            l1c: 31,
+            l2c: 64,
+            routing: 200,
+            flit_links: 800,
+        };
+        assert_eq!(m.counts_cache_energy(&c).total(), m.cache_energy(&s).total());
+        let n = NocStats {
+            routing_events: Counter(200),
+            flit_link_traversals: Counter(800),
+            ..Default::default()
+        };
+        assert_eq!(m.counts_network_energy(&c).total(), m.network_energy(&n).total());
     }
 
     #[test]

@@ -1547,11 +1547,11 @@ impl CoherenceProtocol for Arin {
     ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
-        if self.mshr[tile].contains(block)
-            || self.l1_queues[tile].is_busy(block)
-            || self.bcast_blocked[tile].contains(&block)
-        {
-            return Ok(AccessOutcome::Blocked);
+        if self.mshr[tile].contains(block) {
+            return Ok(AccessOutcome::Blocked { reason: BlockReason::MshrConflict });
+        }
+        if self.l1_queues[tile].is_busy(block) || self.bcast_blocked[tile].contains(&block) {
+            return Ok(AccessOutcome::Blocked { reason: BlockReason::BusyBlock });
         }
         let lat = self.spec.lat;
         enum Action {

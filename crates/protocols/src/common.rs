@@ -699,9 +699,22 @@ pub enum AccessOutcome {
     },
     /// A transaction was started; a [`Completion`] will arrive later.
     Miss,
-    /// The block is temporarily locked (broadcast invalidation in
-    /// progress or MSHR conflict); the core must retry shortly.
-    Blocked,
+    /// The block is temporarily locked; the core must retry shortly.
+    Blocked {
+        /// What the core is waiting on (feeds the attribution
+        /// profiler's pre-issue wait accounting).
+        reason: BlockReason,
+    },
+}
+
+/// Why an access could not issue (the [`AccessOutcome::Blocked`] cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The tile's MSHR already tracks a miss on this block.
+    MshrConflict,
+    /// The block is locked by an in-flight coherence action (busy
+    /// queue entry or a broadcast invalidation in progress).
+    BusyBlock,
 }
 
 /// Event counts every protocol maintains; the power model turns these

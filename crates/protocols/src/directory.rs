@@ -718,7 +718,7 @@ impl CoherenceProtocol for Directory {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
         if self.mshr[tile].contains(block) {
-            return Ok(AccessOutcome::Blocked);
+            return Ok(AccessOutcome::Blocked { reason: BlockReason::MshrConflict });
         }
         let lat = self.spec.lat;
         let hit = match self.l1[tile].get_mut(block) {

@@ -172,7 +172,7 @@ impl<P: CoherenceProtocol> Harness<P> {
                 self.outstanding[tile] = Some((block, write));
                 self.apply_ctx(now, ctx);
             }
-            AccessOutcome::Blocked => {
+            AccessOutcome::Blocked { .. } => {
                 self.apply_ctx(now, ctx);
                 self.queue.push(now + 7, Ev::Retry(tile));
             }

@@ -1570,8 +1570,11 @@ impl CoherenceProtocol for Providers {
     ) -> Result<AccessOutcome, ProtoError> {
         self.stats.accesses.inc();
         self.stats.l1_tag.inc();
-        if self.mshr[tile].contains(block) || self.l1_queues[tile].is_busy(block) {
-            return Ok(AccessOutcome::Blocked);
+        if self.mshr[tile].contains(block) {
+            return Ok(AccessOutcome::Blocked { reason: BlockReason::MshrConflict });
+        }
+        if self.l1_queues[tile].is_busy(block) {
+            return Ok(AccessOutcome::Blocked { reason: BlockReason::BusyBlock });
         }
         let lat = self.spec.lat;
         enum Action {

@@ -3,7 +3,8 @@
 
 Standard library only (no jsonschema dependency): implements the small
 draft-07 subset those schemas use — type, enum, required, properties,
-additionalProperties, items, minItems, maxItems, minimum, maximum.
+additionalProperties, items, minItems, maxItems, minimum, maximum, and
+document-local $ref ("#/definitions/...").
 
 Usage:
     scripts/validate_schema.py schemas/metrics.schema.json metrics.json ...
@@ -32,8 +33,20 @@ def type_ok(value, name):
     return isinstance(value, TYPES[name])
 
 
-def validate(value, schema, path, errors):
+def resolve_ref(ref, root):
+    """Resolves a document-local JSON pointer ("#/definitions/x")."""
+    node = root
+    for part in ref.lstrip("#/").split("/"):
+        node = node[part.replace("~1", "/").replace("~0", "~")]
+    return node
+
+
+def validate(value, schema, path, errors, root=None):
     """Appends human-readable problems found at `path` to `errors`."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        schema = resolve_ref(schema["$ref"], root)
     t = schema.get("type")
     if t is not None:
         names = t if isinstance(t, list) else [t]
@@ -55,9 +68,9 @@ def validate(value, schema, path, errors):
         extra = schema.get("additionalProperties", True)
         for key, item in value.items():
             if key in props:
-                validate(item, props[key], f"{path}.{key}", errors)
+                validate(item, props[key], f"{path}.{key}", errors, root)
             elif isinstance(extra, dict):
-                validate(item, extra, f"{path}.{key}", errors)
+                validate(item, extra, f"{path}.{key}", errors, root)
             elif extra is False:
                 errors.append(f"{path}: unexpected field {key!r}")
     if isinstance(value, list):
@@ -68,7 +81,7 @@ def validate(value, schema, path, errors):
         items = schema.get("items")
         if isinstance(items, dict):
             for i, item in enumerate(value):
-                validate(item, items, f"{path}[{i}]", errors)
+                validate(item, items, f"{path}[{i}]", errors, root)
 
 
 def main(argv):

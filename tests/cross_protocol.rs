@@ -2,8 +2,11 @@
 //! same set of writes under every protocol (the final write count per
 //! block — the "authority version" — is protocol-independent), and every
 //! protocol must satisfy the whole-chip coherence invariants at
-//! quiescence.
+//! quiescence. The attribution profiler must likewise reconcile exactly
+//! on every protocol: phase sums tile miss latency and attributed event
+//! counts tile the aggregate energy.
 
+use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
 use cmpsim_engine::SimRng;
 use cmpsim_protocols::arin::Arin;
 use cmpsim_protocols::checker;
@@ -81,4 +84,66 @@ fn heavy_contention_all_protocols() {
     let dir = run(Directory::new(ChipSpec::small()), &s);
     let arin = run(Arin::new(ChipSpec::small()), &s);
     assert_eq!(dir, arin);
+}
+
+/// The critical-path profiler reconciles exactly on every protocol: the
+/// typed phases of every completed miss sum to its measured latency, and
+/// the per-transaction event counts tile the chip-wide aggregate
+/// counters — so the attributed dynamic energy equals the aggregate
+/// dynamic energy bit-for-bit.
+#[test]
+fn attribution_reconciles_on_every_protocol() {
+    let cfg = SystemConfig::small().with_attribution();
+    for kind in ProtocolKind::all() {
+        let r = run_benchmark(kind, Benchmark::MixedCom, &cfg).expect("run");
+        let b = r.breakdown.as_ref().expect("attribution enabled");
+        let lat = &r.proto_stats.miss_latency;
+
+        // Phase sums tile the measured miss latency, per transaction and
+        // therefore in aggregate, with nothing dropped or left open.
+        assert!(b.completed > 0, "{kind:?} attributed no misses");
+        assert_eq!(b.completed, lat.count(), "{kind:?}: miss count");
+        assert_eq!(b.reconciled, b.completed, "{kind:?}: unreconciled misses");
+        assert_eq!(b.open_txs, 0, "{kind:?}: transactions left open");
+        assert_eq!(b.latency_cycles, lat.sum(), "{kind:?}: latency total");
+        assert_eq!(
+            b.phase_cycles.total(),
+            b.latency_cycles,
+            "{kind:?}: phases do not sum to latency"
+        );
+
+        // Attributed event counts tile the aggregate counters exactly.
+        let tc = b.total_counts();
+        let ps = &r.proto_stats;
+        assert_eq!(tc.l1_tag, ps.l1_tag.get(), "{kind:?}: l1 tag");
+        assert_eq!(
+            tc.l1_data,
+            ps.l1_data_read.get() + ps.l1_data_write.get(),
+            "{kind:?}: l1 data"
+        );
+        assert_eq!(tc.l2_tag, ps.l2_tag.get(), "{kind:?}: l2 tag");
+        assert_eq!(
+            tc.l2_data,
+            ps.l2_data_read.get() + ps.l2_data_write.get(),
+            "{kind:?}: l2 data"
+        );
+        assert_eq!(tc.dir, ps.dir_access.get(), "{kind:?}: directory");
+        assert_eq!(tc.l1c, ps.l1c_access.get(), "{kind:?}: L1 coherence aux");
+        assert_eq!(tc.l2c, ps.l2c_access.get(), "{kind:?}: L2 coherence aux");
+        assert_eq!(tc.routing, r.noc_stats.routing_events.get(), "{kind:?}: routing");
+        assert_eq!(
+            tc.flit_links,
+            r.noc_stats.flit_link_traversals.get(),
+            "{kind:?}: flit-links"
+        );
+
+        // Energy follows the counts: pricing the attributed buckets with
+        // the run's own model reproduces the aggregate dynamic energy.
+        let model = r.energy_model();
+        assert_eq!(
+            r.counts_nj(&model, &tc),
+            r.total_dynamic_nj(),
+            "{kind:?}: attributed energy does not tile the aggregate"
+        );
+    }
 }

@@ -177,6 +177,43 @@ fn metrics_json_shape() {
     assert!(lat.field("count").unwrap().as_u64().unwrap() > 0);
 }
 
+/// Attribution is observation-only on every protocol: the simulated
+/// outcome is bit-identical with it on or off.
+#[test]
+fn attribution_does_not_change_timing_on_any_protocol() {
+    let cfg = SystemConfig::small().with_attribution();
+    for kind in ProtocolKind::all() {
+        let plain = run_benchmark(kind, Benchmark::Radix, &SystemConfig::small()).expect("run");
+        let attr = run_benchmark(kind, Benchmark::Radix, &cfg).expect("run");
+        assert_eq!(plain.cycles, attr.cycles, "{kind:?}");
+        assert_eq!(plain.measured_refs, attr.measured_refs, "{kind:?}");
+        assert_eq!(
+            plain.noc_stats.messages.get(),
+            attr.noc_stats.messages.get(),
+            "{kind:?}"
+        );
+        assert!(plain.breakdown.is_none());
+        assert!(attr.breakdown.is_some());
+    }
+}
+
+/// Two identical seeded runs export byte-identical breakdown JSON and
+/// CSV — the golden-file property the `breakdown` command and CI's
+/// double-run `cmp` check rely on.
+#[test]
+fn breakdown_exports_are_byte_identical_across_runs() {
+    use cmpsim::report::{breakdown_csv, breakdown_json};
+    let cfg = SystemConfig::small().with_attribution();
+    let a = run_benchmark(ProtocolKind::DiCoProviders, Benchmark::Apache, &cfg).expect("run");
+    let b = run_benchmark(ProtocolKind::DiCoProviders, Benchmark::Apache, &cfg).expect("run");
+    let (ra, rb) = (std::slice::from_ref(&a), std::slice::from_ref(&b));
+    assert_eq!(breakdown_json(ra), breakdown_json(rb));
+    assert_eq!(breakdown_csv(ra), breakdown_csv(rb));
+    // The export is well-formed JSON with the versioned envelope.
+    let v = Value::parse(&breakdown_json(ra)).expect("valid JSON");
+    assert_eq!(v.field("schema").unwrap().as_str().unwrap(), "cmpsim-breakdown-v1");
+}
+
 /// Without the opt-ins, runs carry no observability payloads.
 #[test]
 fn disabled_by_default() {
