@@ -1,0 +1,33 @@
+//! Event-loop throughput bench: events/s per protocol on the small
+//! 16-tile configuration, the perf-regression smoke target.
+//!
+//! One iteration is one full apache run (4k refs/core). The event count
+//! of a run is deterministic for a fixed config+seed, so ns/iter and
+//! events/s are interchangeable; the `EVENTS <protocol> <count>` lines
+//! on stdout let `scripts/check_bench_regression.py` convert the
+//! `BENCH_events_per_sec.json` timings into events/s against the
+//! checked-in `reports/bench_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
+use std::hint::black_box;
+
+fn bench_events_per_sec(c: &mut Criterion) {
+    let mut cfg = SystemConfig::small();
+    cfg.refs_per_core = 4_000;
+    let mut g = c.benchmark_group("small_apache_4k_refs");
+    // min-of-N is the regression-gate statistic; a generous sample
+    // count keeps it stable on noisy shared hosts.
+    g.sample_size(20);
+    for kind in ProtocolKind::all() {
+        let events = run_benchmark(kind, Benchmark::Apache, &cfg).expect("run").host.events;
+        println!("EVENTS {} {}", kind.name(), events);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(run_benchmark(kind, Benchmark::Apache, &cfg).expect("run").cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_events_per_sec);
+criterion_main!(benches);

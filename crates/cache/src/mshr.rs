@@ -2,15 +2,17 @@
 //!
 //! One MSHR tracks one outstanding transaction for one block. The entry
 //! payload is protocol-defined (pending ack counters, requested access
-//! type, queued requests, ...). Iteration is address-ordered so whole-chip
-//! invariant checks are deterministic.
+//! type, queued requests, ...). Lookups are hot-path (every protocol
+//! dispatch probes the MSHR), so the entries live in a deterministic
+//! fixed-seed hash map; [`Mshr::iter`] sorts so whole-chip invariant
+//! checks stay address-ordered.
 
-use std::collections::BTreeMap;
+use cmpsim_engine::FxHashMap;
 
 /// MSHR file with a capacity limit.
 #[derive(Debug, Clone)]
 pub struct Mshr<E> {
-    entries: BTreeMap<u64, E>,
+    entries: FxHashMap<u64, E>,
     capacity: usize,
 }
 
@@ -18,7 +20,7 @@ impl<E> Mshr<E> {
     /// Creates an MSHR file with room for `capacity` in-flight blocks.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { entries: BTreeMap::new(), capacity }
+        Self { entries: FxHashMap::default(), capacity }
     }
 
     /// Number of in-flight transactions.
@@ -69,9 +71,12 @@ impl<E> Mshr<E> {
         self.entries.remove(&block)
     }
 
-    /// Address-ordered iteration (checkers/tests).
+    /// Address-ordered iteration (checkers/tests; sorts a scratch
+    /// vector, so keep off the hot path).
     pub fn iter(&self) -> impl Iterator<Item = (&u64, &E)> {
-        self.entries.iter()
+        let mut v: Vec<(&u64, &E)> = self.entries.iter().collect();
+        v.sort_unstable_by_key(|(b, _)| **b);
+        v.into_iter()
     }
 }
 

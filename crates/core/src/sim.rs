@@ -12,7 +12,7 @@ use crate::replay::ReplayArtifact;
 use crate::result::RunResult;
 use crate::trace::TxTracer;
 use cmpsim_engine::par::par_map;
-use cmpsim_engine::{Cycle, EventCounts, EventQueue, HostProfiler, SimRng};
+use cmpsim_engine::{Cycle, EventCounts, EventQueue, FxHashMap, HostProfiler, SimRng};
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
 use cmpsim_protocols::checker::StepChecker;
@@ -84,7 +84,14 @@ pub struct CmpSimulator {
     rng: SimRng,
     /// Point-to-point FIFO delivery floors (wormhole meshes preserve
     /// per-pair ordering; the protocols rely on it).
-    fifo: BTreeMap<(Node, Node), Cycle>,
+    fifo: FxHashMap<(Node, Node), Cycle>,
+    /// Reusable dispatch context: one `Ctx` serves every event, so the
+    /// hot path constructs no buffers (see [`Ctx::reset`]).
+    ctx_pool: Ctx,
+    /// Block filter from `CMPSIM_TRACE_BLOCK`, parsed once at build
+    /// time (an env lookup per delivered message would dominate the
+    /// event loop).
+    trace_block: Option<u64>,
     /// Memory controller availability.
     ctrl_free: Vec<Cycle>,
     /// Warm-up bookkeeping.
@@ -94,6 +101,9 @@ pub struct CmpSimulator {
     events: u64,
     /// Cycle of the last retired reference (watchdog no-progress clock).
     last_progress: Cycle,
+    /// Running sum of every core's `refs_done` (the warm-up check runs
+    /// per event, so it must not rescan the cores).
+    refs_total: u64,
     /// Per-message invariant checker (from `cfg.check_invariants`).
     checker: Option<StepChecker>,
     /// Coherence-transaction tracer (from `cfg.tracing`).
@@ -149,13 +159,18 @@ impl CmpSimulator {
             memory: MachineMemory::new(cfg.num_vms),
             benchmark,
             rng,
-            fifo: BTreeMap::new(),
+            fifo: FxHashMap::default(),
+            ctx_pool: Ctx::default(),
+            trace_block: std::env::var("CMPSIM_TRACE_BLOCK")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok()),
             ctrl_free: vec![0; cfg.mem_controllers],
             warmed_up: false,
             measure_start: 0,
             refs_at_reset: 0,
             events: 0,
             last_progress: 0,
+            refs_total: 0,
             checker: cfg.check_invariants.then(StepChecker::new),
             tracer: cfg.tracing.then(|| TxTracer::new(tiles, cfg.trace_capacity)),
             attr: cfg.attribution.then(|| TxAttribution::new(tiles)),
@@ -182,18 +197,17 @@ impl CmpSimulator {
     }
 
     /// Snapshot of the cache-structure counters before a protocol
-    /// dispatch (`None` when attribution is off). Paired with
-    /// [`Self::attr_record_cache_delta`] around every `core_access` /
-    /// `handle` call so each dispatch's energy events charge to the
-    /// transaction that caused them.
-    fn attr_cache_base(&self) -> Option<[u64; 7]> {
-        self.attr.as_ref().map(|_| cache_counts(self.proto.stats()))
+    /// dispatch. Paired with [`Self::attr_record_cache_delta`] around
+    /// every `core_access` / `handle` call so each dispatch's energy
+    /// events charge to the transaction that caused them. Callers skip
+    /// both calls entirely when attribution is off.
+    fn attr_cache_base(&self) -> [u64; 7] {
+        cache_counts(self.proto.stats())
     }
 
     /// Charges the cache-counter delta since `base` to the transaction
     /// open on `block` (or the untracked bucket when none is).
-    fn attr_record_cache_delta(&mut self, block: Block, base: Option<[u64; 7]>) {
-        let Some(base) = base else { return };
+    fn attr_record_cache_delta(&mut self, block: Block, base: [u64; 7]) {
         let cur = cache_counts(self.proto.stats());
         if let Some(a) = &mut self.attr {
             let delta = EventCounts {
@@ -212,18 +226,17 @@ impl CmpSimulator {
     }
 
     fn deliver(&mut self, at: Cycle, msg: Msg) {
-        let key = (msg.src, msg.dst);
-        let mut at = at;
-        if let Some(&floor) = self.fifo.get(&key) {
-            at = at.max(floor);
-        }
-        self.fifo.insert(key, at);
+        let floor = self.fifo.entry((msg.src, msg.dst)).or_insert(0);
+        let at = at.max(*floor);
+        *floor = at;
         self.queue.push(at, Ev::Deliver(msg));
     }
 
-    /// Routes one Ctx worth of protocol output through the chip.
-    fn apply_ctx(&mut self, now: Cycle, ctx: Ctx) {
-        for out in ctx.sends {
+    /// Routes one Ctx worth of protocol output through the chip,
+    /// draining the (pooled) context's buffers in a fixed order:
+    /// sends, bcasts, replays, mem_ops, completions.
+    fn apply_ctx(&mut self, now: Cycle, ctx: &mut Ctx) {
+        for out in std::mem::take(&mut ctx.sends) {
             let flits = self.flits(&out.msg.kind);
             let d = self.mesh.send(now + out.delay, out.msg.src.tile(), out.msg.dst.tile(), flits);
             if let Some(tr) = &mut self.tracer {
@@ -251,7 +264,7 @@ impl CmpSimulator {
             }
             self.deliver(d.arrival, out.msg);
         }
-        for b in ctx.bcasts {
+        for b in ctx.bcasts.drain(..) {
             let flits = if b.kind.carries_data() {
                 self.cfg.noc.data_flits
             } else {
@@ -301,10 +314,10 @@ impl CmpSimulator {
                 );
             }
         }
-        for m in ctx.replays {
+        for m in ctx.replays.drain(..) {
             self.queue.push(now, Ev::Deliver(m));
         }
-        for op in ctx.mem_ops {
+        for op in ctx.mem_ops.drain(..) {
             let ctrl = self.cfg.mem_ctrl_of(op.block);
             let ctrl_tile = self.cfg.mem_ctrl_tile(ctrl);
             let flits =
@@ -375,7 +388,7 @@ impl CmpSimulator {
                 );
             }
         }
-        for c in ctx.completions {
+        for c in std::mem::take(&mut ctx.completions) {
             if let Some(tr) = &mut self.tracer {
                 tr.on_completion(now, c.tile);
             }
@@ -386,6 +399,7 @@ impl CmpSimulator {
             debug_assert!(core.outstanding, "completion without outstanding access");
             core.outstanding = false;
             core.refs_done += 1;
+            self.refs_total += 1;
             self.last_progress = now;
             self.queue.push(now + c.delay + 1, Ev::CoreResume(c.tile));
         }
@@ -418,8 +432,10 @@ impl CmpSimulator {
         if let Some(chk) = &mut self.checker {
             chk.record_access(now, tile, block, write);
         }
-        let mut ctx = Ctx::at(now);
-        let attr_base = self.attr_cache_base();
+        let attr_on = self.attr.is_some();
+        let mut ctx = std::mem::take(&mut self.ctx_pool);
+        ctx.reset(now);
+        let attr_base = if attr_on { self.attr_cache_base() } else { [0; 7] };
         let outcome = match self.proto.core_access(&mut ctx, tile, block, write) {
             Ok(o) => o,
             Err(e) => return Err(self.protocol_fault(now, e)),
@@ -428,9 +444,12 @@ impl CmpSimulator {
             AccessOutcome::Hit { latency } => {
                 self.cores[tile].pending = None;
                 self.cores[tile].refs_done += 1;
+                self.refs_total += 1;
                 self.last_progress = now;
-                self.attr_record_cache_delta(block, attr_base);
-                self.apply_ctx(now, ctx);
+                if attr_on {
+                    self.attr_record_cache_delta(block, attr_base);
+                }
+                self.apply_ctx(now, &mut ctx);
                 self.queue.push(now + latency, Ev::CoreResume(tile));
             }
             AccessOutcome::Miss => {
@@ -445,21 +464,26 @@ impl CmpSimulator {
                 if let Some(a) = &mut self.attr {
                     a.on_issue(now, tile, block, write);
                 }
-                self.attr_record_cache_delta(block, attr_base);
-                self.apply_ctx(now, ctx);
+                if attr_on {
+                    self.attr_record_cache_delta(block, attr_base);
+                }
+                self.apply_ctx(now, &mut ctx);
             }
             AccessOutcome::Blocked { reason } => {
-                self.attr_record_cache_delta(block, attr_base);
+                if attr_on {
+                    self.attr_record_cache_delta(block, attr_base);
+                }
                 // The 7-cycle retry below is a pre-issue wait: it is
                 // accounted chip-wide by reason, outside the per-miss
                 // reconciliation window (the miss has not opened yet).
                 if let Some(a) = &mut self.attr {
                     a.on_blocked(reason, 7);
                 }
-                self.apply_ctx(now, ctx);
+                self.apply_ctx(now, &mut ctx);
                 self.queue.push(now + 7, Ev::CoreResume(tile));
             }
         }
+        self.ctx_pool = ctx;
         Ok(())
     }
 
@@ -571,7 +595,7 @@ impl CmpSimulator {
         if self.warmed_up {
             return;
         }
-        let total: u64 = self.cores.iter().map(|c| c.refs_done).sum();
+        let total = self.refs_total;
         let target = (self.cfg.warmup_frac
             * (self.cfg.refs_per_core * self.cores.len() as u64) as f64) as u64;
         if total >= target {
@@ -685,23 +709,23 @@ impl CmpSimulator {
             match ev {
                 Ev::CoreResume(tile) => self.core_resume(now, tile)?,
                 Ev::Deliver(msg) => {
-                    if let Some(b) = std::env::var("CMPSIM_TRACE_BLOCK")
-                        .ok()
-                        .and_then(|v| v.parse::<u64>().ok())
-                    {
-                        if msg.block == b {
-                            eprintln!("[{now}] {msg:?}");
-                        }
+                    if self.trace_block == Some(msg.block) {
+                        eprintln!("[{now}] {msg:?}");
                     }
-                    let mut ctx = Ctx::at(now);
-                    let attr_base = self.attr_cache_base();
+                    let attr_on = self.attr.is_some();
+                    let mut ctx = std::mem::take(&mut self.ctx_pool);
+                    ctx.reset(now);
+                    let attr_base = if attr_on { self.attr_cache_base() } else { [0; 7] };
                     if let Err(e) = self.proto.handle(&mut ctx, msg) {
                         return Err(self.protocol_fault(now, e));
                     }
                     // Charge this dispatch's cache events before the
                     // Ctx is applied (which may close the transaction).
-                    self.attr_record_cache_delta(msg.block, attr_base);
-                    self.apply_ctx(now, ctx);
+                    if attr_on {
+                        self.attr_record_cache_delta(msg.block, attr_base);
+                    }
+                    self.apply_ctx(now, &mut ctx);
+                    self.ctx_pool = ctx;
                     self.check_invariants(now, &msg)?;
                 }
             }

@@ -1,0 +1,130 @@
+//! Deterministic fast hashing for hot-path protocol state.
+//!
+//! `std::collections::HashMap`'s default `RandomState` is both slow for
+//! tiny keys (SipHash) and randomly seeded per process, which would make
+//! stall dumps differ across runs. This module provides the well-known
+//! Fx multiply-rotate hash (as used by rustc) with a fixed seed: O(1)
+//! per-word mixing, no allocation, and bit-identical behavior on every
+//! run. Iteration order of the resulting maps is still unspecified —
+//! dump and report sites must sort before formatting.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fixed odd multiplier (from the Firefox/rustc Fx hash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher with a fixed (non-random) seed.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the deterministic Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the deterministic Fx hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        // Same value hashes the same across hasher instances (no random
+        // per-process seed).
+        assert_eq!(hash_of(&0x0123_4567_89ab_cdef_u64), hash_of(&0x0123_4567_89ab_cdef_u64));
+        assert_eq!(hash_of(&"block"), hash_of(&"block"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn map_behaves_like_a_map() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for b in [5u64, 1, 9, 3, 1 << 40] {
+            m.insert(b, (b % 100) as u32);
+        }
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.get(&9), Some(&9));
+        assert_eq!(m.remove(&5), Some(5));
+        assert!(!m.contains_key(&5));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // Strings whose difference is only in the non-8-byte tail.
+        assert_ne!(hash_of(&"abcdefgh-x"), hash_of(&"abcdefgh-y"));
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        s.remove(&7);
+        assert!(s.is_empty());
+    }
+}

@@ -35,17 +35,21 @@
 //! applied across the parameter sweep, not inside one run.
 
 pub mod event;
+pub mod fxmap;
 pub mod metrics;
 pub mod par;
 pub mod phase;
 pub mod profile;
 pub mod rng;
+pub mod smallvec;
 pub mod stats;
 pub mod trace;
 
 pub use event::{Cycle, EventQueue};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricSource, MetricsRegistry};
 pub use phase::{EventCounts, Phase, PhaseCycles};
 pub use profile::{HostProfile, HostProfiler};
 pub use rng::SimRng;
+pub use smallvec::SmallVec;
 pub use trace::{TraceEvent, TraceRing};

@@ -41,28 +41,34 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots = std::sync::Mutex::new(&mut results);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+    // Each worker collects into its own vector; the results are merged
+    // into pre-sized slots after the joins — no lock on the result path.
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(n / threads + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
                     }
-                    local.push((i, f(&items[i])));
-                }
-                let mut guard = slots.lock().unwrap();
-                for (i, r) in local {
-                    guard[i] = Some(r);
-                }
-            });
-        }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
 
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for local in per_worker {
+        for (i, r) in local {
+            debug_assert!(results[i].is_none());
+            results[i] = Some(r);
+        }
+    }
     results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
 }
 

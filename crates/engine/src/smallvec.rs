@@ -1,0 +1,170 @@
+//! A minimal inline-first vector for hot-path fan-out buffers.
+//!
+//! Protocol dispatches produce at most a handful of outgoing messages
+//! and completions (typical fan-out ≤ 4), so the driver's per-dispatch
+//! `Ctx` buffers store the first `N` elements inline on the stack and
+//! only spill to the heap on the rare larger burst. Combined with
+//! context pooling this makes the common dispatch completely
+//! allocation-free.
+
+/// A vector storing its first `N` elements inline, spilling the rest to
+/// a heap `Vec`.
+#[derive(Debug)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self { inline: std::array::from_fn(|_| None), spill: Vec::new(), len: 0 }
+    }
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `value`, inline while room remains.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes every element, keeping the spill buffer's capacity.
+    pub fn clear(&mut self) {
+        for slot in self.inline.iter_mut().take(self.len.min(N)) {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline.iter().take(self.len.min(N)).filter_map(Option::as_ref).chain(self.spill.iter())
+    }
+}
+
+/// Consuming iterator in insertion order (inline part, then spill).
+#[derive(Debug)]
+pub struct IntoIter<T, const N: usize> {
+    inline: [Option<T>; N],
+    spill: std::vec::IntoIter<T>,
+    head: usize,
+    inline_len: usize,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.head < self.inline_len {
+            let v = self.inline[self.head].take();
+            self.head += 1;
+            debug_assert!(v.is_some());
+            v
+        } else {
+            self.spill.next()
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inline_len - self.head + self.spill.len();
+        (n, Some(n))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter {
+            inline_len: self.len.min(N),
+            inline: self.inline,
+            spill: self.spill.into_iter(),
+            head: 0,
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_only() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_in_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), (0..7).collect::<Vec<_>>());
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut v: SmallVec<String, 2> = SmallVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        v.push("c".into());
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+        v.push("d".into());
+        assert_eq!(v.iter().cloned().collect::<Vec<_>>(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn consuming_iter_is_exact_size() {
+        let mut v: SmallVec<u8, 4> = SmallVec::new();
+        for i in 0..6 {
+            v.push(i);
+        }
+        let it = v.into_iter();
+        assert_eq!(it.len(), 6);
+        assert_eq!(it.size_hint(), (6, Some(6)));
+    }
+}

@@ -80,6 +80,52 @@ enum Dir {
     South,
 }
 
+/// Incremental XY-route walker: yields each (tile, direction) link
+/// traversal from source to destination without allocating. X-dimension
+/// first, then Y, exactly as the former `Vec`-building routing did.
+#[derive(Debug, Clone, Copy)]
+struct RouteIter {
+    x: usize,
+    y: usize,
+    dx: usize,
+    dy: usize,
+    cols: usize,
+}
+
+impl Iterator for RouteIter {
+    type Item = (usize, Dir);
+
+    fn next(&mut self) -> Option<(usize, Dir)> {
+        let tile = self.y * self.cols + self.x;
+        if self.x != self.dx {
+            let dir = if self.dx > self.x { Dir::East } else { Dir::West };
+            if self.dx > self.x {
+                self.x += 1;
+            } else {
+                self.x -= 1;
+            }
+            Some((tile, dir))
+        } else if self.y != self.dy {
+            let dir = if self.dy > self.y { Dir::South } else { Dir::North };
+            if self.dy > self.y {
+                self.y += 1;
+            } else {
+                self.y -= 1;
+            }
+            Some((tile, dir))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.x.abs_diff(self.dx) + self.y.abs_diff(self.dy);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
+
 /// The mesh interconnect. Owns per-directed-link "busy until" clocks for
 /// the contention model and the traffic statistics.
 #[derive(Debug, Clone)]
@@ -153,31 +199,13 @@ impl Mesh {
         (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
     }
 
-    /// The XY route from `src` to `dst` as a list of (tile, direction)
-    /// link traversals. Empty when `src == dst`.
-    fn route(&self, src: usize, dst: usize) -> Vec<(usize, Dir)> {
-        let (mut x, mut y) = self.xy(src);
+    /// The XY route from `src` to `dst` as an incremental iterator of
+    /// (tile, direction) link traversals — no per-message allocation.
+    /// Empty when `src == dst`.
+    fn route(&self, src: usize, dst: usize) -> RouteIter {
+        let (x, y) = self.xy(src);
         let (dx, dy) = self.xy(dst);
-        let mut hops = Vec::with_capacity(self.distance(src, dst) as usize);
-        while x != dx {
-            let dir = if dx > x { Dir::East } else { Dir::West };
-            hops.push((self.tile(x, y), dir));
-            if dx > x {
-                x += 1;
-            } else {
-                x -= 1;
-            }
-        }
-        while y != dy {
-            let dir = if dy > y { Dir::South } else { Dir::North };
-            hops.push((self.tile(x, y), dir));
-            if dy > y {
-                y += 1;
-            } else {
-                y -= 1;
-            }
-        }
-        hops
+        RouteIter { x, y, dx, dy, cols: self.cfg.cols }
     }
 
     fn link_index(&self, tile: usize, dir: Dir) -> usize {
@@ -203,11 +231,13 @@ impl Mesh {
         }
         let hops = self.route(src, dst);
         let nlinks = hops.len() as u64;
+        let hop_cycles = self.cfg.hop_cycles();
+        let model_contention = self.cfg.model_contention;
         let mut t = now;
         for (tile, dir) in hops {
             let li = self.link_index(tile, dir);
-            t += self.cfg.hop_cycles();
-            if self.cfg.model_contention {
+            t += hop_cycles;
+            if model_contention {
                 if t < self.link_free[li] {
                     let stall = self.link_free[li] - t;
                     self.stats.contention_cycles.add(stall);
@@ -348,6 +378,7 @@ mod tests {
         let m = mesh();
         for src in 0..64 {
             for dst in 0..64 {
+                assert_eq!(m.route(src, dst).count() as u64, m.distance(src, dst));
                 assert_eq!(m.route(src, dst).len() as u64, m.distance(src, dst));
             }
         }

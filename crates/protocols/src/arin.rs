@@ -26,8 +26,8 @@
 use crate::checker::{ChipSnapshot, CopyState, CopyView, L2View};
 use crate::common::*;
 use cmpsim_cache::{Mshr, SetAssoc};
-use cmpsim_engine::Cycle;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use cmpsim_engine::{Cycle, FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum L1State {
@@ -103,17 +103,17 @@ pub struct Arin {
     l1c: Vec<SetAssoc<Tile>>,
     mshr: Vec<Mshr<MshrEntry>>,
     l1_queues: Vec<BlockQueues>,
-    co_pending: Vec<BTreeSet<Block>>,
-    co_ack_early: Vec<BTreeSet<Block>>,
+    co_pending: Vec<FxHashSet<Block>>,
+    co_ack_early: Vec<FxHashSet<Block>>,
     /// Blocks locked by an in-flight broadcast invalidation.
-    bcast_blocked: Vec<BTreeSet<Block>>,
-    tombstones: Vec<BTreeMap<Block, Node>>,
+    bcast_blocked: Vec<FxHashSet<Block>>,
+    tombstones: Vec<FxHashMap<Block, Node>>,
     tombstone_fifo: Vec<VecDeque<Block>>,
     l2: Vec<SetAssoc<L2Entry>>,
     l2c: Vec<SetAssoc<Tile>>,
     home_queues: Vec<BlockQueues>,
-    tx: Vec<BTreeMap<Block, HomeTx>>,
-    bounce_hold: Vec<BTreeMap<Block, VecDeque<Msg>>>,
+    tx: Vec<FxHashMap<Block, HomeTx>>,
+    bounce_hold: Vec<FxHashMap<Block, VecDeque<Msg>>>,
     pending_mem_writes: Vec<(Tile, Block)>,
 }
 
@@ -129,16 +129,16 @@ impl Arin {
             l1c: (0..n).map(|_| SetAssoc::new(spec.aux)).collect(),
             mshr: (0..n).map(|_| Mshr::new(8)).collect(),
             l1_queues: (0..n).map(|_| BlockQueues::default()).collect(),
-            co_pending: vec![BTreeSet::new(); n],
-            co_ack_early: vec![BTreeSet::new(); n],
-            bcast_blocked: vec![BTreeSet::new(); n],
-            tombstones: vec![BTreeMap::new(); n],
+            co_pending: vec![FxHashSet::default(); n],
+            co_ack_early: vec![FxHashSet::default(); n],
+            bcast_blocked: vec![FxHashSet::default(); n],
+            tombstones: vec![FxHashMap::default(); n],
             tombstone_fifo: vec![VecDeque::new(); n],
             l2: (0..n).map(|_| SetAssoc::new(spec.l2)).collect(),
             l2c: (0..n).map(|_| SetAssoc::new(spec.aux_home)).collect(),
             home_queues: (0..n).map(|_| BlockQueues::default()).collect(),
-            tx: (0..n).map(|_| BTreeMap::new()).collect(),
-            bounce_hold: vec![BTreeMap::new(); n],
+            tx: (0..n).map(|_| FxHashMap::default()).collect(),
+            bounce_hold: vec![FxHashMap::default(); n],
             pending_mem_writes: Vec::new(),
             spec,
             stats: ProtoStats::default(),
@@ -1842,10 +1842,14 @@ impl CoherenceProtocol for Arin {
                     e.write, e.have_data, e.acks_needed, e.upgrade
                 );
             }
-            for b in &self.co_pending[t] {
+            let mut co: Vec<Block> = self.co_pending[t].iter().copied().collect();
+            co.sort_unstable();
+            for b in co {
                 out += &format!("tile {t} co_pending block {b:#x}\n");
             }
-            for b in &self.bcast_blocked[t] {
+            let mut bb: Vec<Block> = self.bcast_blocked[t].iter().copied().collect();
+            bb.sort_unstable();
+            for b in bb {
                 out += &format!("tile {t} bcast_blocked block {b:#x}\n");
             }
             for (b, n) in self.l1_queues[t].pending_counts() {
@@ -1854,13 +1858,20 @@ impl CoherenceProtocol for Arin {
                     self.l1_queues[t].is_busy(b)
                 );
             }
-            for (b, tx) in self.tx[t].iter() {
+            let mut txs: Vec<(Block, &HomeTx)> =
+                self.tx[t].iter().map(|(b, x)| (*b, x)).collect();
+            txs.sort_unstable_by_key(|&(b, _)| b);
+            for (b, tx) in txs {
                 out += &format!("home {t} tx block {b:#x}: {tx:?}\n");
             }
-            for (b, q) in self.bounce_hold[t].iter() {
-                if !q.is_empty() {
-                    out += &format!("home {t} bounce_hold block {b:#x}: {} msgs\n", q.len());
-                }
+            let mut holds: Vec<(Block, usize)> = self.bounce_hold[t]
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(b, q)| (*b, q.len()))
+                .collect();
+            holds.sort_unstable();
+            for (b, n) in holds {
+                out += &format!("home {t} bounce_hold block {b:#x}: {n} msgs\n");
             }
         }
         out

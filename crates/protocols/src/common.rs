@@ -6,9 +6,9 @@
 use cmpsim_cache::Geometry;
 use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
 use cmpsim_engine::stats::{Counter, Log2Hist, Running};
-use cmpsim_engine::Cycle;
+use cmpsim_engine::{Cycle, FxHashMap, FxHashSet, SmallVec};
 use cmpsim_virt::AreaMap;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Tile index.
 pub type Tile = usize;
@@ -188,7 +188,7 @@ impl ChipSpec {
 }
 
 /// A protocol endpoint: an L1 cache or an L2 bank, in some tile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Node {
     /// The L1 cache of a tile.
     L1(Tile),
@@ -632,14 +632,14 @@ pub struct Completion {
 pub struct Ctx {
     /// Current cycle.
     pub now: Cycle,
-    /// Unicasts to inject.
-    pub sends: Vec<OutMsg>,
+    /// Unicasts to inject (inline up to the typical fan-out of 4).
+    pub sends: SmallVec<OutMsg, 4>,
     /// Broadcasts to inject (DiCo-Arin only).
     pub bcasts: Vec<OutBcast>,
     /// Messages to re-handle immediately (drained pending queues).
     pub replays: Vec<Msg>,
-    /// Completed misses.
-    pub completions: Vec<Completion>,
+    /// Completed misses (inline: almost always 0 or 1 per dispatch).
+    pub completions: SmallVec<Completion, 2>,
     /// Memory fetches/writebacks.
     pub mem_ops: Vec<MemOp>,
 }
@@ -648,6 +648,18 @@ impl Ctx {
     /// Fresh context for one dispatch at `now`.
     pub fn at(now: Cycle) -> Self {
         Self { now, ..Default::default() }
+    }
+
+    /// Re-arms a pooled context for the next dispatch at `now`, keeping
+    /// every buffer's capacity (the driver reuses one `Ctx` for all
+    /// dispatches so the hot path never allocates).
+    pub fn reset(&mut self, now: Cycle) {
+        self.now = now;
+        self.sends.clear();
+        self.bcasts.clear();
+        self.replays.clear();
+        self.completions.clear();
+        self.mem_ops.clear();
     }
 
     /// Queues a unicast.
@@ -1010,8 +1022,8 @@ pub trait CoherenceProtocol {
 /// serialization device used at every ordering point.
 #[derive(Debug, Clone, Default)]
 pub struct BlockQueues {
-    busy: BTreeSet<Block>,
-    pending: BTreeMap<Block, VecDeque<Msg>>,
+    busy: FxHashSet<Block>,
+    pending: FxHashMap<Block, VecDeque<Msg>>,
 }
 
 impl BlockQueues {
@@ -1047,9 +1059,17 @@ impl BlockQueues {
         self.busy.len()
     }
 
-    /// Blocks with queued messages and their counts (diagnostics).
+    /// Blocks with queued messages and their counts, address-ordered
+    /// (diagnostics; the backing map iterates in unspecified order).
     pub fn pending_counts(&self) -> Vec<(Block, usize)> {
-        self.pending.iter().filter(|(_, q)| !q.is_empty()).map(|(b, q)| (*b, q.len())).collect()
+        let mut counts: Vec<(Block, usize)> = self
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(b, q)| (*b, q.len()))
+            .collect();
+        counts.sort_unstable_by_key(|&(b, _)| b);
+        counts
     }
 }
 
@@ -1077,7 +1097,7 @@ pub fn iter_bits(mut v: u64) -> impl Iterator<Item = Tile> {
 /// the checker can detect stale data being served.
 #[derive(Debug, Clone, Default)]
 pub struct VersionAuthority {
-    latest: BTreeMap<Block, u64>,
+    latest: FxHashMap<Block, u64>,
 }
 
 impl VersionAuthority {
@@ -1093,7 +1113,8 @@ impl VersionAuthority {
         self.latest.get(&block).copied().unwrap_or(0)
     }
 
-    /// Iterates `(block, version)` pairs.
+    /// Iterates `(block, version)` pairs, in unspecified order (the
+    /// snapshot sinks are keyed maps, so order never matters).
     pub fn iter(&self) -> impl Iterator<Item = (&Block, &u64)> {
         self.latest.iter()
     }
@@ -1103,7 +1124,7 @@ impl VersionAuthority {
 /// materializes data bytes).
 #[derive(Debug, Clone, Default)]
 pub struct MemoryImage {
-    versions: BTreeMap<Block, u64>,
+    versions: FxHashMap<Block, u64>,
 }
 
 impl MemoryImage {

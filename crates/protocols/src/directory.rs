@@ -16,8 +16,7 @@
 use crate::checker::{ChipSnapshot, CopyState, CopyView, L2View};
 use crate::common::*;
 use cmpsim_cache::{Mshr, SetAssoc};
-use cmpsim_engine::Cycle;
-use std::collections::BTreeMap;
+use cmpsim_engine::{Cycle, FxHashMap};
 
 /// L1 line states (MESI minus I, which is "not present").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +85,7 @@ pub struct Directory {
     l2: Vec<SetAssoc<L2Entry>>,
     dircache: Vec<SetAssoc<DirEntry>>,
     queues: Vec<BlockQueues>,
-    tx: Vec<BTreeMap<Block, HomeTx>>,
+    tx: Vec<FxHashMap<Block, HomeTx>>,
     /// Deferred invalidation fan-outs (flushed into the Ctx at the end of
     /// each dispatch; avoids borrowing tangles in nested evictions).
     pending_evict_invs: Vec<(Tile, Block, u64)>,
@@ -104,7 +103,7 @@ impl Directory {
             l2: (0..n).map(|_| SetAssoc::new(spec.l2)).collect(),
             dircache: (0..n).map(|_| SetAssoc::new(spec.aux_home)).collect(),
             queues: (0..n).map(|_| BlockQueues::default()).collect(),
-            tx: (0..n).map(|_| BTreeMap::new()).collect(),
+            tx: (0..n).map(|_| FxHashMap::default()).collect(),
             pending_evict_invs: Vec::new(),
             pending_mem_writes: Vec::new(),
             spec,

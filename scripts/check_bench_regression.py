@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fail when event-loop throughput regresses against the checked-in baseline.
+
+Compares a BENCH_events_per_sec.json artifact (written by the
+criterion-shim when CMPSIM_BENCH_DIR is set) against
+reports/bench_baseline.json. The simulated workload is deterministic, so
+each benchmark id's event count is fixed and events/s follows directly
+from the measured ns/iter:
+
+    events_per_sec = events / (min_ns / 1e9)
+
+The check fails when any protocol's events/s falls more than
+--threshold (default 20%) below the baseline. With --rebaseline the
+baseline file is rewritten from the current artifact instead.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def eps(events, ns):
+    return events / (ns / 1e9)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="BENCH_events_per_sec.json from the bench run")
+    ap.add_argument("baseline", help="reports/bench_baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="maximum allowed events/s regression fraction (default 0.20)")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="rewrite the baseline's min_ns from the current artifact")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    cur_by_id = {r["id"]: r for r in current["results"]}
+
+    if args.rebaseline:
+        for b in baseline["results"]:
+            cur = cur_by_id.get(b["id"])
+            if cur is None:
+                sys.exit(f"rebaseline: id {b['id']!r} missing from {args.current}")
+            b["min_ns"] = cur["min_ns"]
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"rebaselined {len(baseline['results'])} ids into {args.baseline}")
+        return
+
+    failures = []
+    for b in baseline["results"]:
+        cur = cur_by_id.get(b["id"])
+        if cur is None:
+            failures.append(f"{b['id']}: missing from current artifact")
+            continue
+        base_eps = eps(b["events"], b["min_ns"])
+        cur_eps = eps(b["events"], cur["min_ns"])
+        delta = cur_eps / base_eps - 1.0
+        status = "OK"
+        if delta < -args.threshold:
+            status = "FAIL"
+            failures.append(
+                f"{b['id']}: {cur_eps:,.0f} events/s is {-delta:.1%} below "
+                f"baseline {base_eps:,.0f}"
+            )
+        print(f"{status:4} {b['id']:45} baseline {base_eps:>12,.0f} ev/s   "
+              f"current {cur_eps:>12,.0f} ev/s   ({delta:+.1%})")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("\nall benchmarks within threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Perf smoke: run the events_per_sec bench with machine-readable output
+# and gate on the checked-in baseline (>20% events/s regression fails).
+#
+# Usage:
+#   scripts/perf_smoke.sh                 # run + check
+#   scripts/perf_smoke.sh --rebaseline    # run + rewrite reports/bench_baseline.json
+#
+# Artifacts land in ${CMPSIM_BENCH_DIR:-target/bench-artifacts}:
+#   BENCH_events_per_sec.json   one record per protocol (mean/min ns per run)
+#   bench_trajectory.jsonl      append-only perf trajectory across invocations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries with the package dir as cwd, so the
+# artifact directory must be absolute.
+export CMPSIM_BENCH_DIR="$(realpath -m "${CMPSIM_BENCH_DIR:-target/bench-artifacts}")"
+mkdir -p "$CMPSIM_BENCH_DIR"
+
+cargo bench -p cmpsim-bench --bench events_per_sec
+
+python3 scripts/check_bench_regression.py \
+    "$CMPSIM_BENCH_DIR/BENCH_events_per_sec.json" \
+    reports/bench_baseline.json \
+    "$@"
