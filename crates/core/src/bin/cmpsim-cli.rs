@@ -9,6 +9,9 @@
 //!                                               # attribution, all four protocols
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
 //! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
+//! cmpsim-cli chaos [--plans N] [--mode M] [--seed S] [--refs N]
+//!                  [--small] [--alt] [-p P] [-b B]
+//!                                               # seeded fault-injection soak
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
 //!
@@ -31,6 +34,14 @@
 //! spans + simulated-cycles/s throughput) to **stderr**, keeping stdout
 //! and every artifact deterministic.
 //!
+//! Fault injection: `--faults recoverable[@SEED]` or `--faults
+//! chaos[@SEED]` (or the `CMPSIM_FAULTS` environment variable) arms a
+//! deterministic fault plan on any simulating command. `chaos` sweeps N
+//! seeded plans across the protocol x benchmark matrix, verifies every
+//! recovered cell bit-identical (in architectural state) against its
+//! fault-free golden twin, and exits nonzero on any divergence, panic,
+//! or typed error lacking a replay artifact.
+//!
 //! Protocols: directory | dico | providers | arin.
 //! Benchmarks: apache | jbb | radix | lu | volrend | tomcatv |
 //! mixed-com | mixed-sci.
@@ -45,9 +56,10 @@
 use cmpsim::report::{
     breakdown_csv, breakdown_energy_table, breakdown_json, breakdown_latency_table, table,
 };
+use cmpsim::chaos::{chaos_sweep, CellOutcome};
 use cmpsim::{
-    run_benchmark, run_matrix, Benchmark, CmpSimulator, MissClass, Placement, ProtocolKind,
-    ReplayArtifact, RunResult, SimError, SystemConfig,
+    run_benchmark, run_matrix, Benchmark, CmpSimulator, FaultPlan, MissClass, Placement,
+    ProtocolKind, ReplayArtifact, RunResult, SimError, SystemConfig,
 };
 use cmpsim_power::{leakage_per_tile, overhead_percent};
 use std::path::Path;
@@ -90,6 +102,7 @@ struct Options {
     metrics_out: Option<String>,
     attr: bool,
     breakdown_out: Option<String>,
+    faults: Option<FaultPlan>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -107,6 +120,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics_out: None,
         attr: false,
         breakdown_out: None,
+        faults: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -151,6 +165,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.metrics_out = Some(v.clone());
             }
             "--attr" => o.attr = true,
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a spec (recoverable[@SEED] | chaos[@SEED])")?;
+                o.faults = Some(FaultPlan::parse(v)?);
+            }
             "--breakdown-out" => {
                 let v = it.next().ok_or("--breakdown-out needs a file path")?;
                 o.breakdown_out = Some(v.clone());
@@ -181,7 +199,15 @@ fn config(o: &Options) -> SystemConfig {
     if o.attr || o.breakdown_out.is_some() {
         cfg = cfg.with_attribution();
     }
-    cfg
+    // The CLI flag wins over the CMPSIM_FAULTS environment variable.
+    let plan = match &o.faults {
+        Some(p) => Some(p.clone()),
+        None => FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    };
+    cfg.with_fault_plan(plan)
 }
 
 /// Inserts `tag` before the extension: `out.json` -> `out-dico.json`.
@@ -461,9 +487,170 @@ fn cmd_replay(path: &str, check: bool) {
     }
 }
 
+/// `chaos`: seeded fault-injection soak across the protocol x
+/// benchmark matrix with differential golden verification.
+fn cmd_chaos(args: &[String]) {
+    let mut plans_n: u64 = 8;
+    let mut mode = "both".to_string();
+    let mut seed: u64 = 0xC4A05;
+    let mut refs: u64 = 800;
+    let mut small = true;
+    let mut alt = false;
+    let mut protocol: Option<ProtocolKind> = None;
+    let mut benchmark: Option<Benchmark> = None;
+    let mut it = args.iter();
+    let bad = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plans" => {
+                let v = it.next().unwrap_or_else(|| bad("--plans needs a count".into()));
+                plans_n = v.parse().unwrap_or_else(|_| bad(format!("bad plan count {v}")));
+            }
+            "--mode" => {
+                let v = it.next().unwrap_or_else(|| bad("--mode needs a value".into()));
+                match v.as_str() {
+                    "recoverable" | "chaos" | "both" => mode = v.clone(),
+                    other => bad(format!("unknown chaos mode {other} (recoverable|chaos|both)")),
+                }
+            }
+            "--seed" | "-s" => {
+                let v = it.next().unwrap_or_else(|| bad("--seed needs a value".into()));
+                seed = v.parse().unwrap_or_else(|_| bad(format!("bad seed {v}")));
+            }
+            "--refs" | "-n" => {
+                let v = it.next().unwrap_or_else(|| bad("--refs needs a value".into()));
+                refs = v.parse().unwrap_or_else(|_| bad(format!("bad refs {v}")));
+            }
+            "--paper" => small = false,
+            "--small" => small = true,
+            "--alt" => alt = true,
+            "--protocol" | "-p" => {
+                let v = it.next().unwrap_or_else(|| bad("--protocol needs a value".into()));
+                protocol =
+                    Some(parse_protocol(v).unwrap_or_else(|| bad(format!("unknown protocol {v}"))));
+            }
+            "--benchmark" | "-b" => {
+                let v = it.next().unwrap_or_else(|| bad("--benchmark needs a value".into()));
+                benchmark = Some(
+                    parse_benchmark(v).unwrap_or_else(|| bad(format!("unknown benchmark {v}"))),
+                );
+            }
+            other => bad(format!("unknown chaos option {other}")),
+        }
+    }
+    let mut cfg = if small { SystemConfig::small() } else { SystemConfig::paper() };
+    cfg = cfg.with_refs(refs);
+    if alt {
+        cfg = cfg.with_placement(Placement::Alternative);
+    }
+    let protocols: Vec<ProtocolKind> =
+        protocol.map_or_else(|| ProtocolKind::all().to_vec(), |p| vec![p]);
+    let benchmarks: Vec<Benchmark> =
+        benchmark.map_or_else(|| Benchmark::all().to_vec(), |b| vec![b]);
+    let plans: Vec<FaultPlan> = (0..plans_n)
+        .map(|i| match mode.as_str() {
+            "recoverable" => FaultPlan::recoverable(seed + i),
+            "chaos" => FaultPlan::chaos(seed + i),
+            _ if i % 2 == 0 => FaultPlan::recoverable(seed + i),
+            _ => FaultPlan::chaos(seed + i),
+        })
+        .collect();
+    println!(
+        "chaos soak: {} plans x {} protocols x {} benchmarks = {} cells ({} refs/core, base seed {:#x})",
+        plans.len(),
+        protocols.len(),
+        benchmarks.len(),
+        plans.len() * protocols.len() * benchmarks.len(),
+        cfg.refs_per_core,
+        seed
+    );
+    let report = chaos_sweep(&protocols, &benchmarks, &plans, &cfg);
+
+    let mut rows = Vec::new();
+    for plan in &plans {
+        let cells: Vec<_> =
+            report.cells.iter().filter(|c| c.plan == *plan).collect();
+        let recovered =
+            cells.iter().filter(|c| matches!(c.outcome, CellOutcome::Recovered { .. })).count();
+        let faulted =
+            cells.iter().filter(|c| matches!(c.outcome, CellOutcome::Faulted { .. })).count();
+        let violations = cells.iter().filter(|c| !c.outcome.acceptable()).count();
+        let (mut fired, mut retries, mut timeouts, mut overhead) = (0u64, 0u64, 0u64, 0u64);
+        for c in &cells {
+            if let CellOutcome::Recovered {
+                faults_fired, retries: r, timeouts: t, cycles, effective_cycles,
+            } = c.outcome
+            {
+                fired += faults_fired;
+                retries += r;
+                timeouts += t;
+                overhead += cycles.saturating_sub(effective_cycles);
+            }
+        }
+        rows.push(vec![
+            plan.spec(),
+            format!("{recovered}/{}", cells.len()),
+            faulted.to_string(),
+            violations.to_string(),
+            fired.to_string(),
+            retries.to_string(),
+            timeouts.to_string(),
+            overhead.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["plan", "recovered", "faulted", "violations", "faults", "retries", "timeouts",
+              "overhead cy"],
+            &rows
+        )
+    );
+    for cell in report.cells.iter() {
+        if let CellOutcome::Faulted { code, label, artifact } = &cell.outcome {
+            println!(
+                "  faulted: {} on {} under {}: {label} ({code}), artifact {}",
+                cell.protocol.name(),
+                cell.benchmark.name(),
+                cell.plan.spec(),
+                artifact.as_deref().map_or("MISSING".into(), |p| p.display().to_string()),
+            );
+        }
+    }
+    for cell in report.violations() {
+        let detail = match &cell.outcome {
+            CellOutcome::Diverged { detail } => detail.clone(),
+            CellOutcome::Panicked { message } => message.clone(),
+            CellOutcome::GoldenFailed { message } => format!("golden failed: {message}"),
+            CellOutcome::Faulted { .. } => "typed error without replay artifact".into(),
+            CellOutcome::Recovered { .. } => unreachable!("recovered cells are acceptable"),
+        };
+        println!(
+            "  VIOLATION: {} on {} under {} [{}]: {detail}",
+            cell.protocol.name(),
+            cell.benchmark.name(),
+            cell.plan.spec(),
+            cell.outcome.status(),
+        );
+    }
+    println!(
+        "{} recovered+verified, {} typed errors, {} violations",
+        report.recovered(),
+        report.faulted(),
+        report.violations().len()
+    );
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_list() {
     println!("protocols:  directory | dico | providers | arin");
     println!("benchmarks: apache | jbb | radix | lu | volrend | tomcatv | mixed-com | mixed-sci");
+    println!("fault modes: recoverable[@SEED] | chaos[@SEED]  (--faults / CMPSIM_FAULTS)");
 }
 
 fn main() {
@@ -472,7 +659,7 @@ fn main() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: cmpsim-cli <run|stats|matrix|breakdown|tables|replay|list> [options]"
+                "usage: cmpsim-cli <run|stats|matrix|breakdown|tables|replay|chaos|list> [options]"
             );
             std::process::exit(2);
         }
@@ -480,6 +667,7 @@ fn main() {
     match cmd {
         "tables" => cmd_tables(),
         "list" => cmd_list(),
+        "chaos" => cmd_chaos(rest),
         "replay" => {
             let mut file = None;
             let mut check = false;
@@ -517,7 +705,7 @@ fn main() {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try run, stats, matrix, breakdown, tables, replay, list"
+                "unknown command {other}; try run, stats, matrix, breakdown, tables, replay, chaos, list"
             );
             std::process::exit(2);
         }

@@ -1,5 +1,6 @@
 //! Whole-system configuration (paper Table III defaults).
 
+use cmpsim_engine::FaultPlan;
 use cmpsim_noc::NocConfig;
 use cmpsim_protocols::common::ChipSpec;
 use cmpsim_virt::Placement;
@@ -62,6 +63,12 @@ pub struct SystemConfig {
     /// transaction. Observability only: simulated timing is identical
     /// with or without it.
     pub attribution: bool,
+    /// Deterministic fault-injection plan. `None` (the default) means
+    /// the fault machinery is entirely inert: no RNG stream is created,
+    /// no timeouts are armed, and the run is bit-identical to builds
+    /// that predate fault injection. The plan is part of the replay
+    /// artifact so faulty runs reproduce exactly.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -87,6 +94,7 @@ impl SystemConfig {
             trace_capacity: 65_536,
             sample_interval: None,
             attribution: false,
+            fault_plan: None,
         }
     }
 
@@ -111,6 +119,7 @@ impl SystemConfig {
             trace_capacity: 65_536,
             sample_interval: None,
             attribution: false,
+            fault_plan: None,
         }
     }
 
@@ -181,6 +190,13 @@ impl SystemConfig {
     /// attribution enabled.
     pub fn with_attribution(mut self) -> Self {
         self.attribution = true;
+        self
+    }
+
+    /// Returns a copy running under the given deterministic
+    /// fault-injection plan (`None` disables injection).
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
         self
     }
 

@@ -9,10 +9,36 @@
 //! [`run_benchmark`](crate::run_benchmark) additionally serializes the
 //! failing run into a replay artifact (see [`crate::replay`]).
 
-use cmpsim_engine::Cycle;
+use cmpsim_engine::{Cycle, FaultKind, FaultPlan, FaultStats};
 use cmpsim_protocols::common::{Msg, ProtoError};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// The active fault-injection plan plus the faults fired so far,
+/// embedded in every failure dump of a faulty run so the failure can be
+/// reproduced exactly (`cmpsim-cli replay` re-runs the same plan).
+#[derive(Debug, Clone)]
+pub struct FaultContext {
+    /// The plan the run executed under.
+    pub plan: FaultPlan,
+    /// Per-kind counts of faults fired before the failure.
+    pub fired: FaultStats,
+}
+
+impl fmt::Display for FaultContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan {} ({} faults fired:",
+            self.plan.spec(),
+            self.fired.total()
+        )?;
+        for kind in FaultKind::all() {
+            write!(f, " {}={}", kind.label(), self.fired.count(kind))?;
+        }
+        write!(f, ")")
+    }
+}
 
 /// Why the watchdog declared the simulation stalled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +142,9 @@ pub struct StallReport {
     pub phase_lines: Vec<String>,
     /// Replay artifact written for this failure, if any.
     pub artifact: Option<PathBuf>,
+    /// The active fault plan and fired-fault counts, when the run was
+    /// executing under fault injection.
+    pub fault: Option<FaultContext>,
 }
 
 /// Structured dump attached to [`SimError::InvariantViolation`].
@@ -152,11 +181,39 @@ pub struct ProtocolFault {
     pub artifact: Option<PathBuf>,
 }
 
+/// Structured dump attached to [`SimError::Fault`]: a request exhausted
+/// its retransmission budget under fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultAbort {
+    /// Cycle the abort was declared at.
+    pub cycle: Cycle,
+    /// Events processed up to that point.
+    pub events: u64,
+    /// Tile whose request could not be recovered.
+    pub tile: usize,
+    /// Block the request concerned.
+    pub block: u64,
+    /// Retransmissions attempted before giving up.
+    pub attempts: u32,
+    /// The active plan and fired-fault counts.
+    pub fault: FaultContext,
+    /// The protocol's dump of in-flight transactions.
+    pub pending_summary: String,
+    /// Replay artifact written for this failure, if any.
+    pub artifact: Option<PathBuf>,
+}
+
 /// A failed simulation run.
 ///
 /// The reports are boxed so a `Result<RunResult, SimError>` stays small
 /// on the happy path — the dumps are only materialized on failure.
+///
+/// The enum is `#[non_exhaustive]`: downstream tooling must keep a
+/// wildcard arm and should prefer matching on [`SimError::code`], a
+/// stable machine-readable string per variant, over parsing `Display`
+/// output.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum SimError {
     /// The watchdog declared the run stuck.
     Stalled(Box<StallReport>),
@@ -164,6 +221,9 @@ pub enum SimError {
     InvariantViolation(Box<InvariantReport>),
     /// A protocol controller hit a state-machine inconsistency.
     Protocol(Box<ProtocolFault>),
+    /// An injected fault could not be recovered: a request exhausted
+    /// its retransmission budget.
+    Fault(Box<FaultAbort>),
 }
 
 impl SimError {
@@ -173,6 +233,7 @@ impl SimError {
             SimError::Stalled(r) => r.cycle,
             SimError::InvariantViolation(r) => r.cycle,
             SimError::Protocol(r) => r.cycle,
+            SimError::Fault(r) => r.cycle,
         }
     }
 
@@ -182,6 +243,7 @@ impl SimError {
             SimError::Stalled(r) => r.events,
             SimError::InvariantViolation(r) => r.events,
             SimError::Protocol(r) => r.events,
+            SimError::Fault(r) => r.events,
         }
     }
 
@@ -191,6 +253,30 @@ impl SimError {
             SimError::Stalled(_) => "stalled",
             SimError::InvariantViolation(_) => "invariant-violation",
             SimError::Protocol(_) => "protocol-fault",
+            SimError::Fault(_) => "fault-unrecoverable",
+        }
+    }
+
+    /// Stable machine-readable error code, one per variant. Downstream
+    /// tooling (the chaos harness, CI scripts) matches on these instead
+    /// of string-parsing `Display` output; codes never change once
+    /// shipped, even as `#[non_exhaustive]` grows the enum.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SimError::Stalled(_) => "E-STALL",
+            SimError::InvariantViolation(_) => "E-INVARIANT",
+            SimError::Protocol(_) => "E-PROTOCOL",
+            SimError::Fault(_) => "E-FAULT",
+        }
+    }
+
+    /// The active fault plan and fired-fault counts, when the failing
+    /// run was executing under fault injection.
+    pub fn fault_context(&self) -> Option<&FaultContext> {
+        match self {
+            SimError::Stalled(r) => r.fault.as_ref(),
+            SimError::Fault(r) => Some(&r.fault),
+            SimError::InvariantViolation(_) | SimError::Protocol(_) => None,
         }
     }
 
@@ -200,6 +286,7 @@ impl SimError {
             SimError::Stalled(r) => r.artifact.as_deref(),
             SimError::InvariantViolation(r) => r.artifact.as_deref(),
             SimError::Protocol(r) => r.artifact.as_deref(),
+            SimError::Fault(r) => r.artifact.as_deref(),
         }
     }
 
@@ -209,6 +296,7 @@ impl SimError {
             SimError::Stalled(r) => r.artifact = Some(path),
             SimError::InvariantViolation(r) => r.artifact = Some(path),
             SimError::Protocol(r) => r.artifact = Some(path),
+            SimError::Fault(r) => r.artifact = Some(path),
         }
     }
 }
@@ -272,6 +360,9 @@ impl fmt::Display for SimError {
                 if !r.pending_summary.is_empty() {
                     writeln!(f, "protocol pending state:\n{}", r.pending_summary.trim_end())?;
                 }
+                if let Some(fc) = &r.fault {
+                    writeln!(f, "{fc}")?;
+                }
                 if let Some(p) = &r.artifact {
                     writeln!(f, "replay artifact: {}", p.display())?;
                 }
@@ -301,6 +392,22 @@ impl fmt::Display for SimError {
             }
             SimError::Protocol(r) => {
                 writeln!(f, "at cycle {} after {} events: {}", r.cycle, r.events, r.error)?;
+                if !r.pending_summary.is_empty() {
+                    writeln!(f, "protocol pending state:\n{}", r.pending_summary.trim_end())?;
+                }
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
+            SimError::Fault(r) => {
+                writeln!(
+                    f,
+                    "unrecoverable injected fault at cycle {} after {} events: \
+                     tile {} gave up on block {:#x} after {} retransmissions",
+                    r.cycle, r.events, r.tile, r.block, r.attempts
+                )?;
+                writeln!(f, "{}", r.fault)?;
                 if !r.pending_summary.is_empty() {
                     writeln!(f, "protocol pending state:\n{}", r.pending_summary.trim_end())?;
                 }

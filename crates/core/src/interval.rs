@@ -50,6 +50,13 @@ pub struct CumSnapshot {
     /// Cumulative per-phase miss-latency cycles (attribution totals,
     /// indexed by [`Phase::index`]; all zero when attribution is off).
     pub phase: [u64; PHASES],
+    /// Faults injected so far (all kinds; zero when injection is off).
+    pub faults_injected: u64,
+    /// Protocol-level retransmissions so far (zero when injection is
+    /// off).
+    pub retries: u64,
+    /// MSHR timeouts fired so far (zero when injection is off).
+    pub timeouts: u64,
 }
 
 /// One interval's worth of activity.
@@ -96,6 +103,15 @@ pub struct IntervalSample {
     /// Per-phase miss-latency cycles attributed to transactions that
     /// completed in the interval (all zero when attribution is off).
     pub phase: [u64; PHASES],
+    /// Faults injected in the interval (all kinds; zero when fault
+    /// injection is off).
+    pub faults_injected: u64,
+    /// Request retransmissions in the interval (zero when injection is
+    /// off).
+    pub retries: u64,
+    /// MSHR timeouts fired in the interval (zero when injection is
+    /// off).
+    pub timeouts: u64,
 }
 
 impl IntervalSample {
@@ -191,6 +207,9 @@ impl IntervalSampler {
             net_nj: cum.net_nj - self.prev.net_nj,
             static_nj: self.static_mw_per_tile * self.tiles as f64 * dur as f64 * 1e-3,
             phase: std::array::from_fn(|i| cum.phase[i] - self.prev.phase[i]),
+            faults_injected: cum.faults_injected - self.prev.faults_injected,
+            retries: cum.retries - self.prev.retries,
+            timeouts: cum.timeouts - self.prev.timeouts,
         });
         self.prev = cum.clone();
         self.window_start = end;
@@ -235,7 +254,8 @@ link_util_mean,link_util_max,l1_occ,l2_occ,aux_occ,\
 pred_lookups,pred_hits,home_lookups,home_hits,\
 cache_dyn_nj,net_dyn_nj,static_nj,total_nj,\
 phase_req_net,phase_home,phase_owner_ind,phase_memory,\
-phase_data_net,phase_inv,phase_retry,phase_fill";
+phase_data_net,phase_inv,phase_retry,phase_fill,\
+faults_injected,fault_retries,fault_timeouts";
 
 impl TimeSeries {
     /// Renders the series as CSV (deterministic, one row per sample).
@@ -246,7 +266,7 @@ impl TimeSeries {
             let _ = writeln!(
                 out,
                 "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},\
-                 {:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{}",
+                 {:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{}",
                 s.start,
                 s.end,
                 s.cycles(),
@@ -276,6 +296,9 @@ impl TimeSeries {
                 s.phase[5],
                 s.phase[6],
                 s.phase[7],
+                s.faults_injected,
+                s.retries,
+                s.timeouts,
             );
         }
         out
@@ -312,6 +335,9 @@ impl TimeSeries {
                 for p in Phase::all() {
                     r.set(&format!("phase_{}", p.key()), Value::uint(s.phase[p.index()]));
                 }
+                r.set("faults_injected", Value::uint(s.faults_injected));
+                r.set("fault_retries", Value::uint(s.retries));
+                r.set("fault_timeouts", Value::uint(s.timeouts));
                 r
             })
             .collect();
@@ -342,6 +368,9 @@ mod tests {
             cache_nj: refs as f64 * 0.5,
             net_nj: hops as f64 * 0.1,
             phase: std::array::from_fn(|i| refs * (i as u64 + 1)),
+            faults_injected: refs / 4,
+            retries: 0,
+            timeouts: 0,
         }
     }
 
@@ -361,6 +390,9 @@ mod tests {
         assert_eq!(ts.samples[0].phase[0], 40);
         assert_eq!(ts.samples[1].phase[0], 60);
         assert_eq!(ts.samples[1].phase[7], 60 * 8);
+        // Fault counters are deltas too (helper: faults = refs / 4).
+        assert_eq!(ts.samples[0].faults_injected, 10);
+        assert_eq!(ts.samples[1].faults_injected, 15);
         // 40 busy flit-cycles per link over a 100-cycle interval.
         assert!((ts.samples[0].link_util_mean - 0.4).abs() < 1e-12);
         assert!((ts.samples[0].link_util_max - 0.4).abs() < 1e-12);

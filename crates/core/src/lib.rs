@@ -41,6 +41,16 @@
 //! JSON replay artifact instead of spinning forever — see [`error`]
 //! and [`replay`].
 //!
+//! # Fault injection
+//!
+//! A seeded [`FaultPlan`] ([`SystemConfig::with_fault_plan`]) injects
+//! deterministic NoC faults — delay spikes, duplicates, reordering,
+//! bounded drops, transient router outages — which the simulator
+//! recovers from with per-MSHR timeouts, capped-backoff retransmission
+//! and duplicate suppression. The [`chaos`] module verifies recovery
+//! differentially: a recovered run must end bit-identical (in
+//! architectural state) to its fault-free golden twin.
+//!
 //! # Observability
 //!
 //! Every run's stats publish into a unified [`MetricsRegistry`]
@@ -52,6 +62,7 @@
 //! identical with them on or off.
 
 pub mod attr;
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod interval;
@@ -62,17 +73,18 @@ pub mod sim;
 pub mod trace;
 
 pub use attr::{BreakdownLog, TxAttribution};
+pub use chaos::{chaos_sweep, run_differential, CellOutcome, ChaosCell, ChaosReport, DiffOutcome};
 pub use config::SystemConfig;
-pub use error::{SimError, StallReason};
+pub use error::{FaultContext, SimError, StallReason};
 pub use interval::{IntervalSample, IntervalSampler, TimeSeries};
 pub use replay::ReplayArtifact;
-pub use result::RunResult;
+pub use result::{ArchState, RunResult};
 pub use sim::{build_protocol, run_benchmark, run_matrix, CmpSimulator};
 pub use trace::{TraceLog, TxTracer};
 
 // Re-export the registry types so downstream binaries need not depend
 // on cmpsim-engine directly.
-pub use cmpsim_engine::{MetricSource, MetricsRegistry};
+pub use cmpsim_engine::{FaultKind, FaultPlan, FaultStats, MetricSource, MetricsRegistry};
 
 // Re-export the pieces callers need to drive experiments.
 pub use cmpsim_protocols::{MissClass, ProtocolKind};

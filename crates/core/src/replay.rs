@@ -16,7 +16,7 @@
 
 use crate::config::SystemConfig;
 use cmpsim_cache::Geometry;
-use cmpsim_engine::Cycle;
+use cmpsim_engine::{Cycle, FaultPlan};
 use cmpsim_noc::NocConfig;
 use cmpsim_protocols::common::{ChipSpec, Latencies, ProtocolKind};
 use cmpsim_virt::{AreaMap, Placement};
@@ -25,7 +25,12 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Artifact schema version (bump on incompatible layout changes).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — original layout, no fault injection.
+/// * v2 — adds the optional `faults` object (the active [`FaultPlan`])
+///   to the config, so faulty runs replay with their exact fault
+///   schedule. v1 artifacts still load (no plan).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Everything needed to re-run a failing simulation deterministically.
 #[derive(Debug, Clone)]
@@ -123,9 +128,9 @@ impl ReplayArtifact {
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = Value::parse(text)?;
         let schema = v.field("schema")?.as_u64()?;
-        if schema != SCHEMA_VERSION {
+        if schema == 0 || schema > SCHEMA_VERSION {
             return Err(format!(
-                "unsupported artifact schema {schema} (this build reads {SCHEMA_VERSION})"
+                "unsupported artifact schema {schema} (this build reads 1..={SCHEMA_VERSION})"
             ));
         }
         Ok(Self {
@@ -231,7 +236,50 @@ fn config_to_json(c: &SystemConfig) -> Value {
     );
     j.set("stall_window", Value::uint(c.stall_window));
     j.set("check_invariants", Value::boolean(c.check_invariants));
+    j.set(
+        "faults",
+        match &c.fault_plan {
+            Some(p) => fault_plan_to_json(p),
+            None => Value::Null,
+        },
+    );
     j
+}
+
+fn fault_plan_to_json(p: &FaultPlan) -> Value {
+    let mut j = Value::object();
+    j.set("seed", Value::uint(p.seed));
+    j.set("chaos", Value::boolean(p.chaos));
+    j.set("delay_rate", Value::float(p.delay_rate));
+    j.set("delay_max", Value::uint(p.delay_max));
+    j.set("duplicate_rate", Value::float(p.duplicate_rate));
+    j.set("drop_rate", Value::float(p.drop_rate));
+    j.set("max_drops", Value::uint(p.max_drops));
+    j.set("reorder_rate", Value::float(p.reorder_rate));
+    j.set("outages", Value::uint(p.outages as u64));
+    j.set("outage_len", Value::uint(p.outage_len));
+    j.set("outage_horizon", Value::uint(p.outage_horizon));
+    j.set("timeout", Value::uint(p.timeout));
+    j.set("retry_cap", Value::uint(p.retry_cap as u64));
+    j
+}
+
+fn fault_plan_from_json(v: &Value) -> Result<FaultPlan, String> {
+    Ok(FaultPlan {
+        seed: v.field("seed")?.as_u64()?,
+        chaos: v.field("chaos")?.as_bool()?,
+        delay_rate: v.field("delay_rate")?.as_f64()?,
+        delay_max: v.field("delay_max")?.as_u64()?,
+        duplicate_rate: v.field("duplicate_rate")?.as_f64()?,
+        drop_rate: v.field("drop_rate")?.as_f64()?,
+        max_drops: v.field("max_drops")?.as_u64()?,
+        reorder_rate: v.field("reorder_rate")?.as_f64()?,
+        outages: v.field("outages")?.as_u64()? as u32,
+        outage_len: v.field("outage_len")?.as_u64()?,
+        outage_horizon: v.field("outage_horizon")?.as_u64()?,
+        timeout: v.field("timeout")?.as_u64()?,
+        retry_cap: v.field("retry_cap")?.as_u64()? as u32,
+    })
 }
 
 fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
@@ -242,6 +290,12 @@ fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
     let max_events = match v.field("max_events")? {
         Value::Null => None,
         other => Some(other.as_u64()?),
+    };
+    // v1 artifacts predate fault injection: a missing `faults` field
+    // simply means no plan.
+    let fault_plan = match v.field("faults") {
+        Err(_) | Ok(Value::Null) => None,
+        Ok(f) => Some(fault_plan_from_json(f)?),
     };
     Ok(SystemConfig {
         chip: ChipSpec {
@@ -298,6 +352,7 @@ fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
         trace_capacity: 65_536,
         sample_interval: None,
         attribution: false,
+        fault_plan,
     })
 }
 
@@ -733,9 +788,35 @@ mod tests {
 
     #[test]
     fn rejects_schema_mismatch() {
-        let bumped = sample().to_json().replacen("\"schema\": 1", "\"schema\": 2", 1);
+        let bumped = sample().to_json().replacen("\"schema\": 2", "\"schema\": 99", 1);
         let err = ReplayArtifact::from_json(&bumped).unwrap_err();
         assert!(err.contains("schema"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn v1_artifacts_without_faults_still_load() {
+        // A v1 file has no `faults` field at all; it must parse with no
+        // fault plan.
+        let v1 = sample()
+            .to_json()
+            .replacen("\"schema\": 2", "\"schema\": 1", 1)
+            .replace("    \"faults\": null,\n", "")
+            .replace(",\n    \"faults\": null", "");
+        assert!(!v1.contains("faults"));
+        let b = ReplayArtifact::from_json(&v1).expect("v1 artifact loads");
+        assert_eq!(b.schema, 1);
+        assert!(b.config.fault_plan.is_none());
+    }
+
+    #[test]
+    fn fault_plan_round_trips() {
+        let mut a = sample();
+        let mut plan = cmpsim_engine::FaultPlan::chaos(0xFEED);
+        plan.delay_rate = 0.015625; // exactly representable
+        plan.retry_cap = 11;
+        a.config.fault_plan = Some(plan.clone());
+        let b = ReplayArtifact::from_json(&a.to_json()).expect("parse back");
+        assert_eq!(b.config.fault_plan, Some(plan));
     }
 
     #[test]

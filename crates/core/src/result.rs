@@ -2,10 +2,33 @@
 //! uses.
 
 use crate::attr::BreakdownLog;
+use crate::error::FaultContext;
 use crate::interval::TimeSeries;
 use crate::trace::TraceLog;
 use cmpsim_engine::metrics::{MetricSource, MetricsRegistry};
-use cmpsim_engine::{Cycle, HostProfile};
+use cmpsim_engine::{Cycle, FaultKind, HostProfile};
+
+/// Timing-invariant summary of the architectural end state of a run,
+/// keyed on logical (VM-relative) coordinates. Two runs over the same
+/// configuration whose injected faults were all *recovered* must
+/// compare equal here even though their cycle counts differ — the
+/// differential check behind the fault-injection harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchState {
+    /// splitmix64-chained digest over every `(vm, region, page index,
+    /// block offset, committed version)` tuple with a nonzero version.
+    pub version_digest: u64,
+    /// Blocks with at least one committed write.
+    pub versioned_blocks: u64,
+    /// Copy-on-write faults taken by the hypervisor.
+    pub cow_faults: u64,
+    /// Logical pages mapped across all VMs.
+    pub logical_pages: u64,
+    /// Physical pages allocated.
+    pub physical_pages: u64,
+    /// References retired over the whole run (warm-up included).
+    pub refs_done: u64,
+}
 use cmpsim_noc::NocStats;
 use cmpsim_power::{CacheEnergy, EnergyModel, NetworkEnergy};
 use cmpsim_protocols::{MissClass, ProtoStats, ProtocolKind};
@@ -50,6 +73,17 @@ pub struct RunResult {
     pub trace: Option<TraceLog>,
     /// Per-transaction latency/energy attribution, when enabled.
     pub breakdown: Option<BreakdownLog>,
+    /// Architectural end state (set by the simulator after a completed
+    /// run; `None` only for hand-assembled results).
+    pub arch: Option<ArchState>,
+    /// Fault plan and fired-fault counters, when the run executed under
+    /// fault injection.
+    pub faults: Option<FaultContext>,
+    /// Cycles of the fault-free golden twin, set by the differential
+    /// harness when this run executed under fault injection and its end
+    /// state was verified against the twin. `cycles - effective_cycles`
+    /// is the timing overhead the injected faults caused.
+    pub effective_cycles: Option<Cycle>,
     /// Host-side self-profile (wall-clock; nondeterministic — kept out
     /// of every deterministic artifact, printed to stderr only).
     pub host: HostProfile,
@@ -91,6 +125,9 @@ impl RunResult {
             timeseries: None,
             trace: None,
             breakdown: None,
+            arch: None,
+            faults: None,
+            effective_cycles: None,
             host: HostProfile::default(),
         }
     }
@@ -119,6 +156,19 @@ impl RunResult {
             reg.set_counter("trace.untracked_hops", t.untracked_hops);
             reg.set_counter("trace.buffered_events", t.ring.len() as u64);
             reg.set_counter("trace.dropped_events", t.ring.dropped());
+        }
+        if let Some(fc) = &self.faults {
+            reg.set_counter("noc.faults_injected.total", fc.fired.total());
+            for kind in FaultKind::all() {
+                reg.set_counter(
+                    &format!("noc.faults_injected.{}", kind.label()),
+                    fc.fired.count(kind),
+                );
+            }
+        }
+        if let Some(ec) = self.effective_cycles {
+            reg.set_counter("sim.effective_cycles", ec);
+            reg.set_counter("sim.fault_overhead_cycles", self.cycles.saturating_sub(ec));
         }
         if let Some(b) = &self.breakdown {
             b.publish("attr", &mut reg);

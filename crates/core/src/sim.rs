@@ -4,15 +4,19 @@
 use crate::attr::{classify, MsgClass, TxAttribution};
 use crate::config::SystemConfig;
 use crate::error::{
-    CoreStallState, HotBlock, InFlightMsg, InvariantReport, ProtocolFault, SimError, StallReason,
-    StallReport,
+    CoreStallState, FaultAbort, FaultContext, HotBlock, InFlightMsg, InvariantReport,
+    ProtocolFault, SimError, StallReason, StallReport,
 };
 use crate::interval::{CumSnapshot, IntervalSampler};
 use crate::replay::ReplayArtifact;
-use crate::result::RunResult;
+use crate::result::{ArchState, RunResult};
 use crate::trace::TxTracer;
 use cmpsim_engine::par::par_map;
-use cmpsim_engine::{Cycle, EventCounts, EventQueue, FxHashMap, HostProfiler, SimRng};
+use cmpsim_engine::rng::splitmix64;
+use cmpsim_engine::{
+    Cycle, EventCounts, EventQueue, FaultDecision, FaultEngine, FaultPlan, FxHashMap, FxHashSet,
+    HostProfiler, SimRng,
+};
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
 use cmpsim_protocols::checker::StepChecker;
@@ -23,7 +27,7 @@ use cmpsim_protocols::dico::DiCo;
 use cmpsim_protocols::directory::Directory;
 use cmpsim_protocols::providers::Providers;
 use cmpsim_protocols::{ProtoStats, ProtocolKind};
-use cmpsim_virt::mem::LogicalPage;
+use cmpsim_virt::mem::{LogicalPage, BLOCKS_PER_PAGE};
 use cmpsim_virt::MachineMemory;
 use cmpsim_workloads::{Benchmark, CoreStream};
 use std::collections::BTreeMap;
@@ -42,8 +46,105 @@ pub fn build_protocol(kind: ProtocolKind, spec: ChipSpec) -> Box<dyn CoherencePr
 enum Ev {
     /// The core of a tile wants to make progress.
     CoreResume(Tile),
-    /// A coherence message arrives.
-    Deliver(Msg),
+    /// A coherence message arrives, tagged with its transport-layer
+    /// retry sequence number (0 = untracked; always 0 with fault
+    /// injection off).
+    Deliver(Msg, u64),
+    /// The MSHR timeout for tile's open miss fired. `generation`
+    /// disambiguates stale timeouts: it must match the tile's current
+    /// miss generation or the event is a no-op.
+    ReqTimeout {
+        /// Tile whose open request timed out.
+        tile: Tile,
+        /// Miss generation the timeout was armed for.
+        generation: u64,
+    },
+}
+
+/// The first hop of a miss transaction: the requestor L1's own request
+/// with no forwarding history. Only this hop is retransmittable — the
+/// home (or predicted owner) has no transient state for it yet, so a
+/// lost copy can be re-sent by the MSHR timeout and a duplicate is
+/// suppressed by the receiver-side sequence filter.
+fn initial_req_of(msg: &Msg) -> Option<Tile> {
+    match msg.kind {
+        MsgKind::Req(r)
+            if r.hops == 0
+                && !r.via_home
+                && r.forwarder.is_none()
+                && msg.src == Node::L1(r.requestor) =>
+        {
+            Some(r.requestor)
+        }
+        _ => None,
+    }
+}
+
+/// Payload-class messages (requests, data fills, memory responses,
+/// hints) fail *safe* when lost or reordered: the worst case is a clean
+/// wedge that the MSHR timeout or the watchdog detects and surfaces as
+/// a typed error. Control notifications (invalidations, acks, owner /
+/// provider bookkeeping) are excluded even in chaos mode — losing one
+/// silently corrupts directory metadata, which models undetectable
+/// state corruption outside this transport-layer fault model. They
+/// still receive delays, duplicates and outage holds.
+fn payload_class(kind: &MsgKind) -> bool {
+    matches!(
+        kind,
+        MsgKind::Req(_) | MsgKind::Data(_) | MsgKind::MemData | MsgKind::Hint { .. }
+    )
+}
+
+/// Retransmission state for one tile's open miss.
+struct RetryInfo {
+    block: Block,
+    msg: Msg,
+    attempts: u32,
+    generation: u64,
+}
+
+/// Driver-side fault state: the engine (plan + RNG + outage schedule),
+/// the per-tile open-request registry feeding timeouts and
+/// retransmissions, and the receiver-side duplicate filter. Exists only
+/// when [`SystemConfig::fault_plan`] is set; with it `None` every hook
+/// below is a single branch and the simulation is bit-identical to a
+/// build without fault injection.
+struct FaultState {
+    engine: FaultEngine,
+    /// Per-tile open tracked request: block and its sequence number.
+    open_reqs: FxHashMap<Tile, (Block, u64)>,
+    /// Per-tile retransmission state for the open miss.
+    retry: FxHashMap<Tile, RetryInfo>,
+    /// Sequence numbers already delivered once. Entries live for the
+    /// whole run: a retransmit can arrive after its miss completed, and
+    /// forgetting the seq would let it reach the protocol as a spurious
+    /// new request. One u64 per tracked miss is an acceptable bound.
+    seen: FxHashSet<u64>,
+    /// Per-tile miss generation counters (stale-timeout filter).
+    generation: Vec<u64>,
+    /// A completion arrived for a core with no outstanding access
+    /// (possible only under chaos faults); latched here and surfaced as
+    /// a typed protocol fault by the event loop.
+    violation: Option<(Tile, Block)>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, tiles: usize) -> Self {
+        Self {
+            engine: FaultEngine::new(plan, tiles),
+            open_reqs: FxHashMap::default(),
+            retry: FxHashMap::default(),
+            seen: FxHashSet::default(),
+            generation: vec![0; tiles],
+            violation: None,
+        }
+    }
+
+    /// The active plan and fired-fault counters, as embedded in stall
+    /// reports and crash dumps.
+    fn context(&self) -> FaultContext {
+        FaultContext { plan: self.engine.plan().clone(), fired: *self.engine.stats() }
+    }
 }
 
 /// The cache-structure counters attribution charges per dispatch, in
@@ -117,6 +218,9 @@ pub struct CmpSimulator {
     /// Energy table for the sampler's cumulative dynamic-energy
     /// snapshots (built alongside the sampler).
     energy_model: Option<cmpsim_power::EnergyModel>,
+    /// Fault-injection engine and recovery bookkeeping (from
+    /// `cfg.fault_plan`; `None` keeps every fault hook inert).
+    faults: Option<FaultState>,
 }
 
 impl CmpSimulator {
@@ -176,6 +280,7 @@ impl CmpSimulator {
             attr: cfg.attribution.then(|| TxAttribution::new(tiles)),
             sampler: None,
             energy_model: None,
+            faults: cfg.fault_plan.clone().map(|p| FaultState::new(p, tiles)),
             cfg: cfg.clone(),
         }
     }
@@ -226,10 +331,75 @@ impl CmpSimulator {
     }
 
     fn deliver(&mut self, at: Cycle, msg: Msg) {
+        if self.faults.is_some() {
+            return self.deliver_faulty(at, msg);
+        }
         let floor = self.fifo.entry((msg.src, msg.dst)).or_insert(0);
         let at = at.max(*floor);
         *floor = at;
-        self.queue.push(at, Ev::Deliver(msg));
+        self.queue.push(at, Ev::Deliver(msg, 0));
+    }
+
+    /// Fault-mode delivery: holds the message through any open router
+    /// outage window its route crosses, then asks the engine for a
+    /// per-delivery fault decision. Delays (and outage holds) raise the
+    /// link's FIFO floor like any slow delivery; a reorder deliberately
+    /// bypasses the floor; a duplicate enqueues two copies sharing one
+    /// sequence number so the receiver-side filter masks the second.
+    fn deliver_faulty(&mut self, at: Cycle, msg: Msg) {
+        let fs = self.faults.as_mut().expect("fault mode");
+        let mut at = at;
+        let mut held = false;
+        for o in fs.engine.outages() {
+            if at >= o.start
+                && at <= o.end
+                && self.mesh.passes_through(msg.src.tile(), msg.dst.tile(), o.tile)
+            {
+                at = at.max(o.end + 1);
+                held = true;
+            }
+        }
+        if held {
+            fs.engine.record_outage_hit();
+        }
+        // Sequence number: the tracked first hop of an open miss reuses
+        // its registered seq (so retransmits collapse at the receiver).
+        let seq = initial_req_of(&msg)
+            .and_then(|t| fs.open_reqs.get(&t).copied())
+            .and_then(|(b, s)| (b == msg.block).then_some(s))
+            .unwrap_or(0);
+        let payload = payload_class(&msg.kind);
+        // Recoverable drops need a retransmission path (tracked initial
+        // request) or no architectural effect (hint); chaos mode widens
+        // to any payload-class message, whose loss wedges detectably.
+        let droppable =
+            seq != 0 || matches!(msg.kind, MsgKind::Hint { .. }) || (fs.engine.plan().chaos && payload);
+        match fs.engine.decide(droppable, payload) {
+            FaultDecision::Drop => {}
+            FaultDecision::Reorder => {
+                self.queue.push(at, Ev::Deliver(msg, seq));
+            }
+            FaultDecision::Duplicate(extra) => {
+                let seq = if seq == 0 { fs.engine.alloc_seq() } else { seq };
+                let floor = self.fifo.entry((msg.src, msg.dst)).or_insert(0);
+                let at = at.max(*floor);
+                *floor = at;
+                self.queue.push(at, Ev::Deliver(msg, seq));
+                self.queue.push(at + extra, Ev::Deliver(msg, seq));
+            }
+            FaultDecision::Delay(extra) => {
+                let floor = self.fifo.entry((msg.src, msg.dst)).or_insert(0);
+                let at = (at + extra).max(*floor);
+                *floor = at;
+                self.queue.push(at, Ev::Deliver(msg, seq));
+            }
+            FaultDecision::None => {
+                let floor = self.fifo.entry((msg.src, msg.dst)).or_insert(0);
+                let at = at.max(*floor);
+                *floor = at;
+                self.queue.push(at, Ev::Deliver(msg, seq));
+            }
+        }
     }
 
     /// Routes one Ctx worth of protocol output through the chip,
@@ -315,7 +485,11 @@ impl CmpSimulator {
             }
         }
         for m in ctx.replays.drain(..) {
-            self.queue.push(now, Ev::Deliver(m));
+            // Replays are the protocol re-enqueueing a message it chose
+            // to defer: they never re-cross the network, so they take
+            // no faults and carry no sequence number (a replayed
+            // message must not be mistaken for a duplicate).
+            self.queue.push(now, Ev::Deliver(m, 0));
         }
         for op in ctx.mem_ops.drain(..) {
             let ctrl = self.cfg.mem_ctrl_of(op.block);
@@ -389,6 +563,21 @@ impl CmpSimulator {
             }
         }
         for c in std::mem::take(&mut ctx.completions) {
+            if let Some(fs) = &mut self.faults {
+                // The miss is closed: timeouts armed for it go stale
+                // and its retransmission state is dropped (the seen-set
+                // entry stays — see `FaultState::seen`).
+                fs.open_reqs.remove(&c.tile);
+                fs.retry.remove(&c.tile);
+                if !self.cores[c.tile].outstanding {
+                    // Chaos faults can desynchronize the protocol's
+                    // notion of an outstanding miss; latch it as a
+                    // typed violation instead of corrupting the core
+                    // bookkeeping (the event loop aborts on it).
+                    fs.violation.get_or_insert((c.tile, c.block));
+                    continue;
+                }
+            }
             if let Some(tr) = &mut self.tracer {
                 tr.on_completion(now, c.tile);
             }
@@ -467,6 +656,9 @@ impl CmpSimulator {
                 if attr_on {
                     self.attr_record_cache_delta(block, attr_base);
                 }
+                if self.faults.is_some() {
+                    self.fault_open_miss(now, tile, block, &ctx);
+                }
                 self.apply_ctx(now, &mut ctx);
             }
             AccessOutcome::Blocked { reason } => {
@@ -487,14 +679,124 @@ impl CmpSimulator {
         Ok(())
     }
 
+    /// Registers a newly opened miss with the recovery layer: stashes
+    /// the first-hop request for retransmission, allocates its
+    /// transport-layer sequence number, and arms the MSHR timeout.
+    /// Misses that send no first-hop request (served without leaving
+    /// the tile) need no recovery and are skipped.
+    fn fault_open_miss(&mut self, now: Cycle, tile: Tile, block: Block, ctx: &Ctx) {
+        let Some(first_hop) = ctx
+            .sends
+            .iter()
+            .map(|o| o.msg)
+            .find(|m| m.block == block && initial_req_of(m) == Some(tile))
+        else {
+            return;
+        };
+        let fs = self.faults.as_mut().expect("fault mode");
+        let seq = fs.engine.alloc_seq();
+        fs.generation[tile] += 1;
+        let generation = fs.generation[tile];
+        fs.open_reqs.insert(tile, (block, seq));
+        // The retransmission path re-derives `seq` from `open_reqs`, so
+        // retransmits share the original's sequence number and are
+        // masked by the receiver-side filter whenever it arrived.
+        fs.retry.insert(tile, RetryInfo { block, msg: first_hop, attempts: 0, generation });
+        let timeout = fs.engine.plan().timeout;
+        self.queue.push(now + timeout, Ev::ReqTimeout { tile, generation });
+    }
+
+    /// Handles an MSHR timeout. Stale timeouts (the miss completed, or
+    /// a newer miss bumped the tile's generation) are no-ops. A live
+    /// one retransmits the stashed first-hop request — suppressed at
+    /// the receiver if the original actually arrived — and re-arms with
+    /// capped exponential backoff; past the retry cap it aborts the run
+    /// with a typed [`SimError::Fault`].
+    fn req_timeout(&mut self, now: Cycle, tile: Tile, generation: u64) -> Result<(), SimError> {
+        let Some(fs) = self.faults.as_mut() else { return Ok(()) };
+        let base_timeout = fs.engine.plan().timeout;
+        let retry_cap = fs.engine.plan().retry_cap;
+        let Some(info) = fs.retry.get_mut(&tile) else { return Ok(()) };
+        if info.generation != generation {
+            return Ok(());
+        }
+        info.attempts += 1;
+        let (attempts, msg, block) = (info.attempts, info.msg, info.block);
+        self.proto.stats_mut().timeouts.inc();
+        if attempts > retry_cap {
+            return Err(self.fault_abort(now, tile, block, attempts - 1));
+        }
+        self.proto.stats_mut().retries.inc();
+        // The retransmission is charged as regular network traffic.
+        let flits = self.flits(&msg.kind);
+        let d = self.mesh.send(now, msg.src.tile(), msg.dst.tile(), flits);
+        self.deliver(d.arrival, msg);
+        let backoff = base_timeout << attempts.min(5);
+        self.queue.push(now + backoff, Ev::ReqTimeout { tile, generation });
+        Ok(())
+    }
+
+    /// Builds the typed error for a request that exhausted its retry
+    /// budget (an unrecoverable injected fault).
+    fn fault_abort(&self, now: Cycle, tile: Tile, block: Block, attempts: u32) -> SimError {
+        let fs = self.faults.as_ref().expect("fault mode");
+        SimError::Fault(Box::new(FaultAbort {
+            cycle: now,
+            events: self.events,
+            tile,
+            block,
+            attempts,
+            fault: fs.context(),
+            pending_summary: self.proto.pending_summary(),
+            artifact: None,
+        }))
+    }
+
+    /// Timing-invariant digest of the architectural end state, keyed on
+    /// *logical* coordinates: for every established page translation
+    /// `(vm, region, index)` and block offset, the block's final
+    /// committed version (the protocol's write-serialization authority)
+    /// is folded into a splitmix64-chained digest. Physical page
+    /// numbers are first-touch-order artifacts and stay out of it, so
+    /// two runs whose injected faults were all recovered — identical
+    /// reference streams, possibly different timing — digest equal.
+    fn arch_state(&self) -> ArchState {
+        fn mix(h: u64, w: u64) -> u64 {
+            let mut s = h ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            splitmix64(&mut s)
+        }
+        let snap = self.proto.snapshot();
+        let mut digest: u64 = 0x243F_6A88_85A3_08D3;
+        let mut versioned_blocks = 0u64;
+        for (vm, region, index, ppn) in self.memory.mappings() {
+            for off in 0..BLOCKS_PER_PAGE {
+                let block = ppn * BLOCKS_PER_PAGE + off;
+                let version = snap.authority.get(&block).copied().unwrap_or(0);
+                if version == 0 {
+                    continue;
+                }
+                versioned_blocks += 1;
+                digest = mix(mix(mix(mix(mix(digest, vm as u64), region as u64), index), off), version);
+            }
+        }
+        ArchState {
+            version_digest: digest,
+            versioned_blocks,
+            cow_faults: self.memory.cow_faults,
+            logical_pages: self.memory.logical_pages(),
+            physical_pages: self.memory.physical_pages(),
+            refs_done: self.refs_total,
+        }
+    }
+
     /// Builds the structured dump for a watchdog abort.
     fn stall_error(&self, now: Cycle, reason: StallReason) -> SimError {
         let mut in_flight: Vec<InFlightMsg> = self
             .queue
             .iter()
             .filter_map(|(due, ev)| match ev {
-                Ev::Deliver(msg) => Some(InFlightMsg { due, msg: *msg }),
-                Ev::CoreResume(_) => None,
+                Ev::Deliver(msg, _) => Some(InFlightMsg { due, msg: *msg }),
+                Ev::CoreResume(_) | Ev::ReqTimeout { .. } => None,
             })
             .collect();
         in_flight.sort_by_key(|m| (m.due, m.msg.block));
@@ -550,6 +852,7 @@ impl CmpSimulator {
             hot_blocks,
             trace_tail: self.tracer.as_ref().map(|t| t.tail_lines(16)).unwrap_or_default(),
             phase_lines: self.attr.as_ref().map(|a| a.stall_lines(now, 8)).unwrap_or_default(),
+            fault: self.faults.as_ref().map(FaultState::context),
             artifact: None,
         }))
     }
@@ -657,6 +960,9 @@ impl CmpSimulator {
             cache_nj: model.cache_energy(ps).total(),
             net_nj: model.network_energy(ns).total(),
             phase: self.attr.as_ref().map(|a| a.phase_totals().0).unwrap_or_default(),
+            faults_injected: self.faults.as_ref().map(|f| f.engine.stats().total()).unwrap_or(0),
+            retries: ps.retries.get(),
+            timeouts: ps.timeouts.get(),
         }
     }
 
@@ -708,7 +1014,20 @@ impl CmpSimulator {
             }
             match ev {
                 Ev::CoreResume(tile) => self.core_resume(now, tile)?,
-                Ev::Deliver(msg) => {
+                Ev::ReqTimeout { tile, generation } => self.req_timeout(now, tile, generation)?,
+                Ev::Deliver(msg, seq) => {
+                    // Idempotent receive: a tracked sequence number that
+                    // was already delivered (injected duplicate, or a
+                    // retransmit whose original arrived) is absorbed
+                    // here, before the protocol can observe it.
+                    let duplicate = seq != 0
+                        && self.faults.as_mut().is_some_and(|fs| !fs.seen.insert(seq));
+                    if duplicate {
+                        self.proto.stats_mut().dedup_drops.inc();
+                        self.maybe_finish_warmup(now);
+                        self.maybe_sample(now);
+                        continue;
+                    }
                     if self.trace_block == Some(msg.block) {
                         eprintln!("[{now}] {msg:?}");
                     }
@@ -726,6 +1045,17 @@ impl CmpSimulator {
                     }
                     self.apply_ctx(now, &mut ctx);
                     self.ctx_pool = ctx;
+                    if let Some((tile, block)) =
+                        self.faults.as_mut().and_then(|fs| fs.violation.take())
+                    {
+                        let e = ProtoError::new(
+                            self.proto.kind(),
+                            Node::L1(tile),
+                            block,
+                            "completion without outstanding access (under fault injection)",
+                        );
+                        return Err(self.protocol_fault(now, e));
+                    }
                     self.check_invariants(now, &msg)?;
                 }
             }
@@ -780,6 +1110,8 @@ impl CmpSimulator {
         result.timeseries = timeseries;
         result.trace = trace;
         result.breakdown = self.attr.take().map(TxAttribution::finish);
+        result.arch = Some(self.arch_state());
+        result.faults = self.faults.as_ref().map(FaultState::context);
         prof.record("finalize", finalize_start.elapsed().as_nanos() as u64);
         result.host = prof.finish(self.events, result.cycles);
         Ok(result)

@@ -19,6 +19,11 @@
 //!   primitives: zero-cost handles for hot-path updates, a
 //!   [`metrics::MetricSource`] publish trait for components with typed
 //!   stat structs, and deterministic text/JSON export.
+//! * [`fault`] — seeded, fully deterministic fault-injection plans and
+//!   the per-delivery decision engine behind the chaos-testing harness
+//!   (delay spikes, reordering, duplicates, bounded drops, router
+//!   outages), on a standalone RNG stream so faults-off runs are
+//!   bit-identical.
 //! * [`trace`] — a bounded drop-oldest ring of trace events with Chrome
 //!   trace-event (Perfetto-loadable) JSON export.
 //! * [`phase`] — the critical-path phase taxonomy and per-transaction
@@ -35,6 +40,7 @@
 //! applied across the parameter sweep, not inside one run.
 
 pub mod event;
+pub mod fault;
 pub mod fxmap;
 pub mod metrics;
 pub mod par;
@@ -46,6 +52,7 @@ pub mod stats;
 pub mod trace;
 
 pub use event::{Cycle, EventQueue};
+pub use fault::{FaultDecision, FaultEngine, FaultKind, FaultPlan, FaultStats};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricSource, MetricsRegistry};
 pub use phase::{EventCounts, Phase, PhaseCycles};

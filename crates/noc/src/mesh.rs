@@ -208,6 +208,18 @@ impl Mesh {
         RouteIter { x, y, dx, dy, cols: self.cfg.cols }
     }
 
+    /// True when the XY route from `src` to `dst` passes through (or
+    /// terminates at) router `tile`. Used by the fault-injection layer
+    /// to decide which in-flight messages a transient router outage
+    /// holds up. A message is affected by its own source router too
+    /// (`src == tile`), matching a store-and-forward outage model.
+    pub fn passes_through(&self, src: usize, dst: usize, tile: usize) -> bool {
+        if src == tile || dst == tile {
+            return true;
+        }
+        self.route(src, dst).any(|(t, _)| t == tile)
+    }
+
     fn link_index(&self, tile: usize, dir: Dir) -> usize {
         tile * 4
             + match dir {
@@ -382,6 +394,22 @@ mod tests {
                 assert_eq!(m.route(src, dst).len() as u64, m.distance(src, dst));
             }
         }
+    }
+
+    #[test]
+    fn passes_through_follows_xy_routes() {
+        let m = mesh();
+        // 0 -> 63 routes along row 0 then down column 7.
+        assert!(m.passes_through(0, 63, 0));
+        assert!(m.passes_through(0, 63, 3)); // row 0
+        assert!(m.passes_through(0, 63, 7)); // turn corner
+        assert!(m.passes_through(0, 63, 31)); // column 7
+        assert!(m.passes_through(0, 63, 63));
+        assert!(!m.passes_through(0, 63, 8)); // column 0 below the row
+        assert!(!m.passes_through(0, 63, 56)); // opposite corner
+        // Local delivery only involves its own router.
+        assert!(m.passes_through(5, 5, 5));
+        assert!(!m.passes_through(5, 5, 6));
     }
 
     #[test]

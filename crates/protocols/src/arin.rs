@@ -1733,6 +1733,10 @@ impl CoherenceProtocol for Arin {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut ProtoStats {
+        &mut self.stats
+    }
+
     fn reset_stats(&mut self) {
         self.stats = ProtoStats::default();
     }

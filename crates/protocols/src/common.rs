@@ -783,6 +783,15 @@ pub struct ProtoStats {
     pub home_lookups: Counter,
     /// Home-side lookups that found the entry cached on-chip.
     pub home_hits: Counter,
+    /// Request retransmissions issued by the timeout/retry recovery
+    /// layer (nonzero only under fault injection).
+    pub retries: Counter,
+    /// MSHR request timeouts that fired on a live (uncompleted) miss
+    /// (nonzero only under fault injection).
+    pub timeouts: Counter,
+    /// Deliveries suppressed by the idempotent-receive duplicate filter
+    /// (nonzero only under fault injection).
+    pub dedup_drops: Counter,
     /// Miss latency distribution (summary).
     pub miss_latency: Running,
     /// Miss latency distribution (log2 histogram, for percentiles).
@@ -855,6 +864,9 @@ impl MetricSource for ProtoStats {
             ("pred_hits", &self.pred_hits),
             ("home_lookups", &self.home_lookups),
             ("home_hits", &self.home_hits),
+            ("retries", &self.retries),
+            ("timeouts", &self.timeouts),
+            ("dedup_drops", &self.dedup_drops),
         ];
         for (name, counter) in c {
             reg.set_counter(&format!("{prefix}.{name}"), counter.get());
@@ -998,6 +1010,11 @@ pub trait CoherenceProtocol {
     fn handle(&mut self, ctx: &mut Ctx, msg: Msg) -> Result<(), ProtoError>;
     /// Statistics.
     fn stats(&self) -> &ProtoStats;
+    /// Mutable statistics — lets the driver charge transport-layer
+    /// recovery events (request retries, timeouts, duplicate
+    /// suppressions) to the protocol's counters so they publish through
+    /// the same registry as every other protocol event.
+    fn stats_mut(&mut self) -> &mut ProtoStats;
     /// Clears statistics (used after simulation warm-up).
     fn reset_stats(&mut self);
     /// True when no transaction is in flight anywhere in the chip

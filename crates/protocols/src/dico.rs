@@ -1406,6 +1406,10 @@ impl CoherenceProtocol for DiCo {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut ProtoStats {
+        &mut self.stats
+    }
+
     fn reset_stats(&mut self) {
         self.stats = ProtoStats::default();
     }

@@ -849,6 +849,10 @@ impl CoherenceProtocol for Directory {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut ProtoStats {
+        &mut self.stats
+    }
+
     fn reset_stats(&mut self) {
         self.stats = ProtoStats::default();
     }

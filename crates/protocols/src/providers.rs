@@ -1825,6 +1825,10 @@ impl CoherenceProtocol for Providers {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut ProtoStats {
+        &mut self.stats
+    }
+
     fn reset_stats(&mut self) {
         self.stats = ProtoStats::default();
     }

@@ -132,6 +132,18 @@ impl MachineMemory {
         self.kinds.get(&(block / BLOCKS_PER_PAGE)).copied()
     }
 
+    /// Every established translation, in logical order: `(vm, region,
+    /// page index, physical page)` ascending by `(vm, region, index)`.
+    /// Physical page numbers are first-touch-order dependent, so
+    /// consumers that need a timing-invariant identity (e.g. the fault
+    /// harness's architectural digest) key on the logical triple and
+    /// use the physical page only to locate blocks.
+    pub fn mappings(&self) -> impl Iterator<Item = (usize, Region, u64, u64)> + '_ {
+        self.tables.iter().enumerate().flat_map(|(vm, table)| {
+            table.iter().map(move |(&(region, index), &ppn)| (vm, region, index, ppn))
+        })
+    }
+
     /// Physical pages actually allocated.
     pub fn physical_pages(&self) -> u64 {
         self.next_ppn
@@ -248,6 +260,22 @@ mod tests {
         assert_eq!(m.kind_of_block(d), Some(PageKind::Deduplicated));
         assert_eq!(m.kind_of_block(p), Some(PageKind::Private));
         assert_eq!(m.kind_of_block(1 << 40), None);
+    }
+
+    #[test]
+    fn mappings_enumerate_every_translation_in_logical_order() {
+        let mut m = MachineMemory::new(2);
+        m.translate_page(LogicalPage { vm: 1, region: Region::VmShared, index: 3 });
+        m.translate_page(LogicalPage { vm: 0, region: Region::Dedup, index: 0 });
+        m.translate_page(LogicalPage { vm: 0, region: Region::CorePrivate, index: 1 });
+        let all: Vec<_> = m.mappings().collect();
+        assert_eq!(all.len(), 3);
+        let keys: Vec<_> = all.iter().map(|&(vm, r, i, _)| (vm, r, i)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "mappings must come out in logical order");
+        assert_eq!(keys[0], (0, Region::CorePrivate, 1));
+        assert_eq!(keys[2], (1, Region::VmShared, 3));
     }
 
     #[test]
