@@ -58,7 +58,7 @@ pub fn write_observability(r: &RunResult, tag: &str) {
     if let (Ok(path), Some(t)) = (std::env::var("CMPSIM_TRACE_OUT"), r.trace.as_ref()) {
         let path = suffixed(&path);
         let label = format!("{} on {}", r.protocol.name(), r.benchmark.name());
-        if let Err(e) = std::fs::write(&path, t.to_chrome_json(&label)) {
+        if let Err(e) = std::fs::write(&path, r.stamp_artifact(t.to_chrome_json(&label))) {
             eprintln!("warning: cannot write trace to {path}: {e}");
         } else {
             eprintln!("trace written to {path}");
@@ -67,7 +67,8 @@ pub fn write_observability(r: &RunResult, tag: &str) {
     if let Some(ts) = &r.timeseries {
         if let Ok(path) = std::env::var("CMPSIM_SERIES_OUT") {
             let path = suffixed(&path);
-            let body = if path.ends_with(".csv") { ts.to_csv() } else { ts.to_json() };
+            let body =
+                if path.ends_with(".csv") { ts.to_csv() } else { r.stamp_artifact(ts.to_json()) };
             if let Err(e) = std::fs::write(&path, body) {
                 eprintln!("warning: cannot write time-series to {path}: {e}");
             } else {

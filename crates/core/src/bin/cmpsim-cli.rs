@@ -7,10 +7,18 @@
 //! cmpsim-cli matrix [--refs N] [--alt] [...]    # all protocols x one benchmark set
 //! cmpsim-cli breakdown [run options]            # Fig. 7/8-style latency & energy
 //!                                               # attribution, all four protocols
+//! cmpsim-cli report [run options] [--all-benchmarks] [--out report.md]
+//!                                               # deterministic Markdown matrix
+//!                                               # report (run ledger + tables)
+//! cmpsim-cli compare A.json B.json [--tol F] [--allow-improved] [--out diff.json]
+//! cmpsim-cli compare --baseline cur.json base.json [--threshold F] [--rebaseline]
+//!                                               # structural run diff / CI
+//!                                               # regression gate (nonzero exit)
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
 //! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
 //! cmpsim-cli chaos [--plans N] [--mode M] [--seed S] [--refs N]
-//!                  [--small] [--alt] [-p P] [-b B]
+//!                  [--small] [--alt] [-p P] [-b B] [--progress-out F]
+//!                  [--json-out F] [--report-out F]
 //!                                               # seeded fault-injection soak
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
@@ -26,7 +34,17 @@
 //! --attr                  per-transaction critical-path & energy attribution
 //! --breakdown-out <file>  write the attribution breakdown
 //!                         (.csv -> CSV, else JSON; implies --attr)
+//! --manifest-out <file>   write the run manifest (run ledger entry) alone
+//! --host-profile-out <f>  write the host self-profile JSON (wall-clock,
+//!                         nondeterministic; keyed by manifest run_id)
+//! --progress-out <file>   live sweep telemetry as NDJSON (run/matrix/report/chaos)
 //! ```
+//!
+//! Every deterministic JSON artifact (metrics, time-series, trace,
+//! breakdown, crash dump) embeds a `manifest` object: a content-hashed
+//! `run_id` over (config, protocol, benchmark, seed, fault plan, schema
+//! versions) plus the tool version, so any two artifacts can be traced
+//! to — and compared against — the exact run that produced them.
 //!
 //! `matrix` writes one file per cell, suffixing the protocol name
 //! before the extension (the breakdown artifact is one combined file).
@@ -54,12 +72,13 @@
 //! invariant.
 
 use cmpsim::report::{
-    breakdown_csv, breakdown_energy_table, breakdown_json, breakdown_latency_table, table,
+    breakdown_csv, breakdown_energy_table, breakdown_json, breakdown_latency_table,
+    markdown_chaos_section, markdown_report, table,
 };
-use cmpsim::chaos::{chaos_sweep, CellOutcome};
+use cmpsim::chaos::{chaos_sweep_with_progress, CellOutcome};
 use cmpsim::{
-    run_benchmark, run_matrix, Benchmark, CmpSimulator, FaultPlan, MissClass, Placement,
-    ProtocolKind, ReplayArtifact, RunResult, SimError, SystemConfig,
+    run_benchmark, run_matrix, run_matrix_with_progress, Benchmark, CmpSimulator, FaultPlan,
+    MissClass, Placement, ProtocolKind, ReplayArtifact, RunResult, SimError, SystemConfig,
 };
 use cmpsim_power::{leakage_per_tile, overhead_percent};
 use std::path::Path;
@@ -103,6 +122,11 @@ struct Options {
     attr: bool,
     breakdown_out: Option<String>,
     faults: Option<FaultPlan>,
+    manifest_out: Option<String>,
+    host_profile_out: Option<String>,
+    progress_out: Option<String>,
+    out: Option<String>,
+    all_benchmarks: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -121,6 +145,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         attr: false,
         breakdown_out: None,
         faults: None,
+        manifest_out: None,
+        host_profile_out: None,
+        progress_out: None,
+        out: None,
+        all_benchmarks: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -173,6 +202,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--breakdown-out needs a file path")?;
                 o.breakdown_out = Some(v.clone());
             }
+            "--manifest-out" => {
+                let v = it.next().ok_or("--manifest-out needs a file path")?;
+                o.manifest_out = Some(v.clone());
+            }
+            "--host-profile-out" => {
+                let v = it.next().ok_or("--host-profile-out needs a file path")?;
+                o.host_profile_out = Some(v.clone());
+            }
+            "--progress-out" => {
+                let v = it.next().ok_or("--progress-out needs a file path")?;
+                o.progress_out = Some(v.clone());
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                o.out = Some(v.clone());
+            }
+            "--all-benchmarks" => o.all_benchmarks = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -240,22 +286,39 @@ fn write_outputs(o: &Options, r: &RunResult, tag: Option<&str>) {
             t.ring.dropped(),
             t.tx_hops
         );
-        write_file(&name(p), &t.to_chrome_json(&label), "trace");
+        write_file(&name(p), &r.stamp_artifact(t.to_chrome_json(&label)), "trace");
     }
     if let Some(ts) = &r.timeseries {
         println!("time-series: {} samples of {} cycles", ts.samples.len(), ts.interval);
         if let Some(p) = &o.series_out {
             let p = name(p);
-            let body = if p.ends_with(".csv") { ts.to_csv() } else { ts.to_json() };
+            let body = if p.ends_with(".csv") {
+                ts.to_csv()
+            } else {
+                r.stamp_artifact(ts.to_json())
+            };
             write_file(&p, &body, "time-series");
         }
     }
     if let Some(p) = &o.metrics_out {
         write_file(&name(p), &r.metrics_json(), "metrics");
     }
+    if let Some(p) = &o.manifest_out {
+        let m = r.manifest.as_ref().expect("simulator-produced results carry a manifest");
+        write_file(&name(p), &m.to_json(), "manifest");
+    }
     // The host self-profile is wall-clock (nondeterministic), so it
     // goes to stderr only — stdout and every artifact stay
-    // deterministic and byte-comparable.
+    // deterministic and byte-comparable. `--host-profile-out` is the
+    // side-channel export: its own file, keyed by the manifest run_id.
+    if let Some(p) = &o.host_profile_out {
+        let run_id = r.manifest.as_ref().map(|m| m.run_id.as_str());
+        if let Err(e) = std::fs::write(name(p), r.host.to_json(run_id)) {
+            eprintln!("error: cannot write host profile to {p}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("host profile: {}", name(p));
+    }
     eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
 }
 
@@ -287,7 +350,14 @@ fn bail(e: SimError) -> ! {
 }
 
 fn cmd_run(o: &Options) {
-    let r = run_benchmark(o.protocol, o.benchmark, &config(o)).unwrap_or_else(|e| bail(e));
+    // A single run is a one-cell sweep as far as telemetry goes; only
+    // build the sink when asked so the default stderr output is
+    // unchanged.
+    let sink = o.progress_out.as_deref().map(|p| progress_sink("run", 1, Some(p)));
+    let r = run_matrix_with_progress(&[o.protocol], &[o.benchmark], &config(o), sink.as_ref())
+        .unwrap_or_else(|e| bail(e))
+        .pop()
+        .expect("one cell");
     println!("{} on {}{}", r.protocol.name(), r.benchmark.name(), r.placement.suffix());
     println!("  cycles            {:>12}", r.cycles);
     println!("  throughput        {:>12.4} refs/cycle", r.throughput());
@@ -332,10 +402,21 @@ fn cmd_stats(o: &Options) {
     write_outputs(o, &r, None);
 }
 
+/// Builds the live-telemetry sink for a sweep (`--progress-out` NDJSON
+/// plus a human heartbeat line per cell on stderr).
+fn progress_sink(label: &str, total: usize, path: Option<&str>) -> cmpsim::ProgressSink {
+    cmpsim::ProgressSink::new(label, total, path, true).unwrap_or_else(|e| {
+        eprintln!("error: cannot open progress stream: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn cmd_matrix(o: &Options) {
     let cfg = config(o);
-    let results =
-        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
+    let protocols = ProtocolKind::all();
+    let sink = progress_sink("matrix", protocols.len(), o.progress_out.as_deref());
+    let results = run_matrix_with_progress(&protocols, &[o.benchmark], &cfg, Some(&sink))
+        .unwrap_or_else(|e| bail(e));
     let base = &results[0];
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -404,6 +485,131 @@ fn cmd_breakdown(o: &Options) {
     }
     for r in &results {
         eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
+    }
+}
+
+/// `report`: one deterministic Markdown report over a matrix run — the
+/// run ledger, the paper-style tables, Fig. 7/8 breakdowns, interval
+/// summaries and fault counts. Attribution is always enabled so the
+/// breakdown sections are populated. Byte-identical across reruns of
+/// the same configuration (`--out` or stdout).
+fn cmd_report(o: &Options) {
+    let cfg = config(o).with_attribution();
+    let benchmarks: Vec<Benchmark> =
+        if o.all_benchmarks { Benchmark::all().to_vec() } else { vec![o.benchmark] };
+    let protocols = ProtocolKind::all();
+    let sink =
+        progress_sink("report", protocols.len() * benchmarks.len(), o.progress_out.as_deref());
+    let results = run_matrix_with_progress(&protocols, &benchmarks, &cfg, Some(&sink))
+        .unwrap_or_else(|e| bail(e));
+    let md = markdown_report(&results);
+    match &o.out {
+        Some(p) => write_file(p, &md, "report"),
+        None => print!("{md}"),
+    }
+    for r in &results {
+        eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
+    }
+}
+
+/// `compare`: structural diff of two runs/matrices, or (`--baseline`)
+/// the host-throughput regression gate that replaces
+/// `scripts/check_bench_regression.py`. Exits nonzero when the
+/// comparison fails, writing a machine-readable JSON diff with
+/// `--out`.
+fn cmd_compare(args: &[String]) {
+    let bad = |e: String| -> ! {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: cmpsim-cli compare A.json B.json [--tol F] [--allow-improved] [--out diff.json]"
+        );
+        eprintln!(
+            "       cmpsim-cli compare --baseline current.json baseline.json [--threshold F] [--rebaseline] [--out diff.json]"
+        );
+        std::process::exit(2);
+    };
+    let mut paths: Vec<String> = Vec::new();
+    let mut baseline_mode = false;
+    let mut rebaseline = false;
+    let mut threshold = 0.20f64;
+    let mut opts = cmpsim::CompareOptions::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_mode = true,
+            "--rebaseline" => rebaseline = true,
+            "--allow-improved" => opts.allow_improved = true,
+            "--threshold" => {
+                let v = it.next().unwrap_or_else(|| bad("--threshold needs a value".into()));
+                threshold = v.parse().unwrap_or_else(|_| bad(format!("bad threshold {v}")));
+            }
+            "--tol" => {
+                let v = it.next().unwrap_or_else(|| bad("--tol needs a value".into()));
+                opts.tolerance = v.parse().unwrap_or_else(|_| bad(format!("bad tolerance {v}")));
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| bad("--out needs a file path".into()));
+                out = Some(v.clone());
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => bad(format!("unknown compare option {other}")),
+        }
+    }
+    if paths.len() != 2 {
+        bad(format!("compare needs exactly two paths, got {}", paths.len()));
+    }
+
+    if baseline_mode {
+        let read = |p: &str| -> cmpsim::replay::Value {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| bad(format!("cannot read {p}: {e}")));
+            cmpsim::replay::Value::parse(&text).unwrap_or_else(|e| bad(format!("{p}: {e}")))
+        };
+        let current = read(&paths[0]);
+        let baseline = read(&paths[1]);
+        if rebaseline {
+            let text = cmpsim::compare::rebaseline(&current, &baseline)
+                .unwrap_or_else(|e| bad(e));
+            std::fs::write(&paths[1], &text)
+                .unwrap_or_else(|e| bad(format!("cannot write {}: {e}", paths[1])));
+            println!("rebaselined into {}", paths[1]);
+            return;
+        }
+        let report = cmpsim::compare::compare_baseline(&current, &baseline, threshold)
+            .unwrap_or_else(|e| bad(e));
+        for line in &report.lines {
+            println!("{line}");
+        }
+        if let Some(p) = &out {
+            write_file(p, &report.to_json(&paths[0], &paths[1], threshold), "compare diff");
+        }
+        if !report.passed() {
+            eprintln!(
+                "\n{} benchmark(s) regressed more than {:.0}%:",
+                report.failures.len(),
+                threshold * 100.0
+            );
+            for f in &report.failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("\nall benchmarks within threshold");
+        return;
+    }
+
+    let report =
+        cmpsim::compare::compare_paths(Path::new(&paths[0]), Path::new(&paths[1]), &opts)
+            .unwrap_or_else(|e| bad(e));
+    for line in report.lines() {
+        println!("{line}");
+    }
+    if let Some(p) = &out {
+        write_file(p, &report.to_json(&opts), "compare diff");
+    }
+    if !report.passed(&opts) {
+        std::process::exit(1);
     }
 }
 
@@ -498,6 +704,9 @@ fn cmd_chaos(args: &[String]) {
     let mut alt = false;
     let mut protocol: Option<ProtocolKind> = None;
     let mut benchmark: Option<Benchmark> = None;
+    let mut progress_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
     let mut it = args.iter();
     let bad = |e: String| -> ! {
         eprintln!("error: {e}");
@@ -538,6 +747,18 @@ fn cmd_chaos(args: &[String]) {
                     parse_benchmark(v).unwrap_or_else(|| bad(format!("unknown benchmark {v}"))),
                 );
             }
+            "--progress-out" => {
+                let v = it.next().unwrap_or_else(|| bad("--progress-out needs a file path".into()));
+                progress_out = Some(v.clone());
+            }
+            "--json-out" => {
+                let v = it.next().unwrap_or_else(|| bad("--json-out needs a file path".into()));
+                json_out = Some(v.clone());
+            }
+            "--report-out" => {
+                let v = it.next().unwrap_or_else(|| bad("--report-out needs a file path".into()));
+                report_out = Some(v.clone());
+            }
             other => bad(format!("unknown chaos option {other}")),
         }
     }
@@ -567,7 +788,18 @@ fn cmd_chaos(args: &[String]) {
         cfg.refs_per_core,
         seed
     );
-    let report = chaos_sweep(&protocols, &benchmarks, &plans, &cfg);
+    let sink = progress_sink(
+        "chaos",
+        plans.len() * protocols.len() * benchmarks.len(),
+        progress_out.as_deref(),
+    );
+    let report = chaos_sweep_with_progress(&protocols, &benchmarks, &plans, &cfg, Some(&sink));
+    if let Some(p) = &json_out {
+        write_file(p, &report.to_json(), "chaos report");
+    }
+    if let Some(p) = &report_out {
+        write_file(p, &markdown_chaos_section(&report), "chaos markdown");
+    }
 
     let mut rows = Vec::new();
     for plan in &plans {
@@ -659,7 +891,7 @@ fn main() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: cmpsim-cli <run|stats|matrix|breakdown|tables|replay|chaos|list> [options]"
+                "usage: cmpsim-cli <run|stats|matrix|breakdown|report|compare|tables|replay|chaos|list> [options]"
             );
             std::process::exit(2);
         }
@@ -668,6 +900,7 @@ fn main() {
         "tables" => cmd_tables(),
         "list" => cmd_list(),
         "chaos" => cmd_chaos(rest),
+        "compare" => cmd_compare(rest),
         "replay" => {
             let mut file = None;
             let mut check = false;
@@ -691,11 +924,12 @@ fn main() {
                 }
             }
         }
-        "run" | "matrix" | "stats" | "breakdown" => match parse_options(rest) {
+        "run" | "matrix" | "stats" | "breakdown" | "report" => match parse_options(rest) {
             Ok(o) => match cmd {
                 "run" => cmd_run(&o),
                 "stats" => cmd_stats(&o),
                 "breakdown" => cmd_breakdown(&o),
+                "report" => cmd_report(&o),
                 _ => cmd_matrix(&o),
             },
             Err(e) => {
@@ -705,7 +939,7 @@ fn main() {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try run, stats, matrix, breakdown, tables, replay, chaos, list"
+                "unknown command {other}; try run, stats, matrix, breakdown, report, compare, tables, replay, chaos, list"
             );
             std::process::exit(2);
         }

@@ -26,6 +26,9 @@ use cmpsim_workloads::Benchmark;
 
 use crate::config::SystemConfig;
 use crate::error::SimError;
+use crate::manifest::RunManifest;
+use crate::progress::ProgressSink;
+use crate::replay::Value;
 use crate::result::RunResult;
 use crate::sim::run_benchmark;
 
@@ -137,6 +140,9 @@ pub struct ChaosCell {
     pub plan: FaultPlan,
     /// How the cell ended.
     pub outcome: CellOutcome,
+    /// Provenance manifest of the faulty leg (config + plan), keying
+    /// this cell to its crash dump / metrics artifacts.
+    pub manifest: RunManifest,
 }
 
 /// Full result of a [`chaos_sweep`].
@@ -174,6 +180,64 @@ impl ChaosReport {
     /// with a replayable artifact.
     pub fn passed(&self) -> bool {
         self.cells.iter().all(|c| c.outcome.acceptable())
+    }
+
+    /// Deterministic JSON export of the sweep: summary counts plus one
+    /// entry per cell carrying its provenance manifest, so every cell
+    /// can be keyed back to the crash dumps and metrics it produced.
+    pub fn to_json(&self) -> String {
+        let mut cells = Vec::new();
+        for c in &self.cells {
+            let mut j = Value::object();
+            j.set("protocol", Value::string(c.protocol.name()));
+            j.set("benchmark", Value::string(c.benchmark.name()));
+            j.set("plan", Value::string(&c.plan.spec()));
+            j.set("status", Value::string(c.outcome.status()));
+            j.set("acceptable", Value::boolean(c.outcome.acceptable()));
+            match &c.outcome {
+                CellOutcome::Recovered {
+                    faults_fired,
+                    retries,
+                    timeouts,
+                    cycles,
+                    effective_cycles,
+                } => {
+                    j.set("faults_fired", Value::uint(*faults_fired));
+                    j.set("retries", Value::uint(*retries));
+                    j.set("timeouts", Value::uint(*timeouts));
+                    j.set("cycles", Value::uint(*cycles));
+                    j.set("effective_cycles", Value::uint(*effective_cycles));
+                }
+                CellOutcome::Faulted { code, label, artifact } => {
+                    j.set("code", Value::string(code));
+                    j.set("label", Value::string(label));
+                    j.set(
+                        "artifact",
+                        artifact.as_ref().map_or(Value::Null, |p| {
+                            Value::string(&p.display().to_string())
+                        }),
+                    );
+                }
+                CellOutcome::Diverged { detail } => j.set("detail", Value::string(detail)),
+                CellOutcome::Panicked { message } | CellOutcome::GoldenFailed { message } => {
+                    j.set("detail", Value::string(message))
+                }
+            }
+            j.set("manifest", c.manifest.to_value());
+            cells.push(j);
+        }
+        let mut j = Value::object();
+        j.set("schema", Value::string("cmpsim-chaos-v1"));
+        j.set("cells_total", Value::uint(self.cells.len() as u64));
+        j.set("recovered", Value::uint(self.recovered() as u64));
+        j.set("faulted", Value::uint(self.faulted() as u64));
+        j.set("violations", Value::uint(self.violations().len() as u64));
+        j.set("passed", Value::boolean(self.passed()));
+        j.set("cells", Value::Arr(cells));
+        let mut out = String::new();
+        j.render_to(&mut out);
+        out.push('\n');
+        out
     }
 }
 
@@ -227,6 +291,20 @@ pub fn chaos_sweep(
     plans: &[FaultPlan],
     cfg: &SystemConfig,
 ) -> ChaosReport {
+    chaos_sweep_with_progress(protocols, benchmarks, plans, cfg, None)
+}
+
+/// [`chaos_sweep`] with an optional live-telemetry sink: every judged
+/// cell reports `plan:protocol/benchmark`, its status and the faulty
+/// leg's host events/s as it completes (completion order — the stream
+/// is host-side telemetry, the returned report stays deterministic).
+pub fn chaos_sweep_with_progress(
+    protocols: &[ProtocolKind],
+    benchmarks: &[Benchmark],
+    plans: &[FaultPlan],
+    cfg: &SystemConfig,
+    progress: Option<&ProgressSink>,
+) -> ChaosReport {
     let mut golden_cfg = cfg.clone();
     golden_cfg.fault_plan = None;
     let pairs: Vec<(ProtocolKind, Benchmark)> = benchmarks
@@ -242,18 +320,32 @@ pub fn chaos_sweep(
         .collect();
     let outcomes = par_map(&jobs, |&(pi, ci)| {
         let (proto, bench) = pairs[ci];
+        let cell_cfg = cfg.clone().with_fault_plan(Some(plans[pi].clone()));
+        let mut host = (0u64, 0.0f64);
         let outcome = match &goldens[ci] {
             Ok(Ok(golden)) => {
-                let cell_cfg = cfg.clone().with_fault_plan(Some(plans[pi].clone()));
-                cell_outcome(judge(proto, bench, &cell_cfg, golden))
+                let diff = judge(proto, bench, &cell_cfg, golden);
+                if let DiffOutcome::Verified(r) = &diff {
+                    host = (r.host.events, r.host.events_per_sec());
+                }
+                cell_outcome(diff)
             }
             Ok(Err(e)) => CellOutcome::GoldenFailed {
                 message: format!("{} ({})", e.kind_label(), e.code()),
             },
             Err(msg) => CellOutcome::GoldenFailed { message: msg.clone() },
         };
-        ChaosCell { protocol: proto, benchmark: bench, plan: plans[pi].clone(), outcome }
+        if let Some(sink) = progress {
+            let cell =
+                format!("{}:{}/{}", plans[pi].spec(), proto.name(), bench.name());
+            sink.cell_done(&cell, outcome.status(), host.0, host.1);
+        }
+        let manifest = RunManifest::new(proto, bench, &cell_cfg);
+        ChaosCell { protocol: proto, benchmark: bench, plan: plans[pi].clone(), outcome, manifest }
     });
+    if let Some(sink) = progress {
+        sink.finish();
+    }
     ChaosReport { cells: outcomes }
 }
 

@@ -63,9 +63,12 @@
 
 pub mod attr;
 pub mod chaos;
+pub mod compare;
 pub mod config;
 pub mod error;
 pub mod interval;
+pub mod manifest;
+pub mod progress;
 pub mod replay;
 pub mod report;
 pub mod result;
@@ -73,13 +76,19 @@ pub mod sim;
 pub mod trace;
 
 pub use attr::{BreakdownLog, TxAttribution};
-pub use chaos::{chaos_sweep, run_differential, CellOutcome, ChaosCell, ChaosReport, DiffOutcome};
+pub use chaos::{
+    chaos_sweep, chaos_sweep_with_progress, run_differential, CellOutcome, ChaosCell, ChaosReport,
+    DiffOutcome,
+};
+pub use compare::{CompareOptions, CompareReport, MetricDiff, Verdict};
 pub use config::SystemConfig;
 pub use error::{FaultContext, SimError, StallReason};
 pub use interval::{IntervalSample, IntervalSampler, TimeSeries};
+pub use manifest::RunManifest;
+pub use progress::ProgressSink;
 pub use replay::ReplayArtifact;
 pub use result::{ArchState, RunResult};
-pub use sim::{build_protocol, run_benchmark, run_matrix, CmpSimulator};
+pub use sim::{build_protocol, run_benchmark, run_matrix, run_matrix_with_progress, CmpSimulator};
 pub use trace::{TraceLog, TxTracer};
 
 // Re-export the registry types so downstream binaries need not depend

@@ -118,6 +118,11 @@ impl ReplayArtifact {
         j.set("failing_cycle", Value::uint(self.failing_cycle));
         j.set("events", Value::uint(self.events));
         j.set("config", config_to_json(&self.config));
+        j.set(
+            "manifest",
+            crate::manifest::RunManifest::new(self.protocol, self.benchmark, &self.config)
+                .to_value(),
+        );
         let mut out = String::new();
         j.render(&mut out, 0);
         out.push('\n');
@@ -175,7 +180,12 @@ fn geometry_from_json(v: &Value) -> Result<Geometry, String> {
     })
 }
 
-fn config_to_json(c: &SystemConfig) -> Value {
+/// Canonical JSON form of a [`SystemConfig`]: the exact field set the
+/// crash-dump schema fixes and the [`crate::manifest`] content hash is
+/// computed over. Observability knobs (tracing, sampling, attribution)
+/// are deliberately absent — they are timing-invariant, so two runs
+/// differing only in them are the *same* run.
+pub(crate) fn config_to_json(c: &SystemConfig) -> Value {
     let mut areas = Value::object();
     areas.set("cols", Value::uint(c.chip.areas.cols as u64));
     areas.set("rows", Value::uint(c.chip.areas.rows as u64));

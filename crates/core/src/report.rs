@@ -12,6 +12,7 @@ use crate::replay::Value;
 use crate::result::RunResult;
 use cmpsim_engine::phase::Phase;
 use cmpsim_engine::EventCounts;
+use cmpsim_protocols::MissClass;
 use std::fmt::Write as _;
 
 /// Formats a table with a header row and aligned columns.
@@ -151,6 +152,12 @@ pub fn breakdown_json(results: &[RunResult]) -> String {
     if let Some(r) = results.first() {
         doc.set("benchmark", Value::string(r.benchmark.name()));
     }
+    // Provenance: one manifest per contributing run, in table order.
+    let manifests: Vec<Value> =
+        results.iter().filter_map(|r| r.manifest.as_ref().map(|m| m.to_value())).collect();
+    if !manifests.is_empty() {
+        doc.set("manifests", Value::Arr(manifests));
+    }
     let protos = results
         .iter()
         .filter_map(|r| r.breakdown.as_ref().map(|b| (r, b)))
@@ -220,6 +227,218 @@ pub fn breakdown_csv(results: &[RunResult]) -> String {
             r.total_dynamic_nj(),
         );
     }
+    out
+}
+
+/// Formats a GitHub-flavored Markdown table.
+pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(header.len()));
+    for r in rows {
+        let _ = writeln!(out, "| {} |", r.join(" | "));
+    }
+    out
+}
+
+/// One deterministic Markdown report over a matrix run: the run
+/// ledger (per-cell manifests), the paper's throughput/energy table
+/// per benchmark, miss-class mix, Fig. 7/8 breakdowns when
+/// attribution ran, interval-series summaries when sampling ran, and
+/// fault-recovery counts when the matrix ran under fault injection.
+///
+/// Only deterministic fields of the results are rendered — no host
+/// profile, no wall clock — so the report is byte-identical across
+/// reruns of the same cells. Results arrive in `run_matrix`'s
+/// row-major (benchmark x protocol) order.
+pub fn markdown_report(results: &[RunResult]) -> String {
+    let mut out = String::from("# cmpsim matrix report\n\n");
+    if results.is_empty() {
+        out.push_str("No results.\n");
+        return out;
+    }
+    let first = &results[0];
+    if let Some(m) = &first.manifest {
+        let _ = writeln!(out, "- tool: {} {}", m.tool, m.tool_version);
+        let _ = writeln!(out, "- config digest: `{}`", m.config_digest);
+        let _ = writeln!(
+            out,
+            "- seed: {}, refs/core: {}, placement: {}",
+            m.seed, m.refs_per_core, m.placement
+        );
+        let _ = writeln!(out, "- fault plan: {}", m.fault_spec.as_deref().unwrap_or("none"));
+        out.push('\n');
+    }
+
+    out.push_str("## Run ledger\n\n");
+    let ledger_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.name().to_string(),
+                r.protocol.name().to_string(),
+                r.manifest
+                    .as_ref()
+                    .map(|m| format!("`{}`", m.run_id))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&["benchmark", "protocol", "run_id"], &ledger_rows));
+    out.push('\n');
+
+    // Group into per-benchmark protocol sweeps, preserving order.
+    let mut groups: Vec<(&str, Vec<&RunResult>)> = Vec::new();
+    for r in results {
+        match groups.last_mut() {
+            Some((name, rs)) if *name == r.benchmark.name() => rs.push(r),
+            _ => groups.push((r.benchmark.name(), vec![r])),
+        }
+    }
+
+    for (bench, rs) in &groups {
+        let base = rs[0];
+        let _ = writeln!(out, "## {bench}{}\n", base.placement.suffix());
+
+        out.push_str("### Throughput & energy (Tables V-VII style)\n\n");
+        let rows: Vec<Vec<String>> = rs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.name().to_string(),
+                    format!("{:.4}", r.throughput()),
+                    pct_delta(r.performance(), base.performance()),
+                    format!("{:.1}", r.total_dynamic_uj()),
+                    pct_delta(r.total_dynamic_nj(), base.total_dynamic_nj()),
+                    format!("{:.2}", r.avg_links_per_message()),
+                    format!("{:.1}", r.avg_miss_latency()),
+                ]
+            })
+            .collect();
+        out.push_str(&md_table(
+            &[
+                "protocol",
+                "throughput (refs/cycle)",
+                "perf vs dir",
+                "dyn energy (uJ)",
+                "energy vs dir",
+                "links/msg",
+                "avg miss lat",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+
+        out.push_str("### L1 miss mix\n\n");
+        let mut header = vec!["protocol"];
+        header.extend(MissClass::all().iter().map(|c| c.label()));
+        let rows: Vec<Vec<String>> = rs
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.protocol.name().to_string()];
+                row.extend(
+                    MissClass::all()
+                        .iter()
+                        .map(|&c| format!("{:.1}%", 100.0 * r.miss_class_frac(c))),
+                );
+                row
+            })
+            .collect();
+        out.push_str(&md_table(&header, &rows));
+        out.push('\n');
+
+        let attributed: Vec<RunResult> =
+            rs.iter().filter(|r| r.breakdown.is_some()).map(|&r| r.clone()).collect();
+        if !attributed.is_empty() {
+            out.push_str("### Miss latency by phase (Fig. 7 style, avg cycles)\n\n```text\n");
+            out.push_str(&breakdown_latency_table(&attributed));
+            out.push_str("```\n\n");
+            out.push_str("### Attributed dynamic energy (Fig. 8 style, uJ)\n\n```text\n");
+            out.push_str(&breakdown_energy_table(&attributed));
+            out.push_str("```\n\n");
+        }
+
+        if rs.iter().any(|r| r.timeseries.is_some()) {
+            out.push_str("### Interval series\n\n");
+            let rows: Vec<Vec<String>> = rs
+                .iter()
+                .filter_map(|r| r.timeseries.as_ref().map(|ts| (r, ts)))
+                .map(|(r, ts)| {
+                    let max_util = ts
+                        .samples
+                        .iter()
+                        .map(|s| s.link_util_max)
+                        .fold(0.0f64, f64::max);
+                    vec![
+                        r.protocol.name().to_string(),
+                        ts.samples.len().to_string(),
+                        ts.interval.to_string(),
+                        format!("{:.3}", max_util),
+                    ]
+                })
+                .collect();
+            out.push_str(&md_table(
+                &["protocol", "samples", "interval (cycles)", "peak link util"],
+                &rows,
+            ));
+            out.push('\n');
+        }
+
+        if rs.iter().any(|r| r.faults.is_some()) {
+            out.push_str("### Fault injection\n\n");
+            let rows: Vec<Vec<String>> = rs
+                .iter()
+                .filter_map(|r| r.faults.as_ref().map(|f| (r, f)))
+                .map(|(r, f)| {
+                    vec![
+                        r.protocol.name().to_string(),
+                        f.plan.spec(),
+                        f.fired.total().to_string(),
+                        r.proto_stats.retries.get().to_string(),
+                        r.proto_stats.timeouts.get().to_string(),
+                        r.effective_cycles
+                            .map(|ec| r.cycles.saturating_sub(ec).to_string())
+                            .unwrap_or_else(|| "-".to_string()),
+                    ]
+                })
+                .collect();
+            out.push_str(&md_table(
+                &["protocol", "plan", "faults fired", "retries", "timeouts", "overhead cycles"],
+                &rows,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Markdown section summarizing a chaos sweep, appended to a matrix
+/// report by `cmpsim-cli chaos --report-out`.
+pub fn markdown_chaos_section(report: &crate::chaos::ChaosReport) -> String {
+    let mut out = String::from("## Chaos sweep\n\n");
+    let _ = writeln!(
+        out,
+        "- cells: {}, recovered: {}, faulted: {}, violations: {}",
+        report.cells.len(),
+        report.recovered(),
+        report.faulted(),
+        report.violations().len()
+    );
+    let _ = writeln!(out, "- verdict: {}\n", if report.passed() { "PASS" } else { "FAIL" });
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.plan.spec(),
+                c.protocol.name().to_string(),
+                c.benchmark.name().to_string(),
+                c.outcome.status().to_string(),
+                format!("`{}`", c.manifest.run_id),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&["plan", "protocol", "benchmark", "status", "run_id"], &rows));
     out
 }
 

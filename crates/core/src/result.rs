@@ -87,6 +87,10 @@ pub struct RunResult {
     /// Host-side self-profile (wall-clock; nondeterministic — kept out
     /// of every deterministic artifact, printed to stderr only).
     pub host: HostProfile,
+    /// Provenance manifest of the run (set by the simulator; `None`
+    /// only for hand-assembled results). Stamped into every JSON
+    /// artifact derived from this result.
+    pub manifest: Option<crate::manifest::RunManifest>,
 }
 
 impl RunResult {
@@ -129,6 +133,7 @@ impl RunResult {
             faults: None,
             effective_cycles: None,
             host: HostProfile::default(),
+            manifest: None,
         }
     }
 
@@ -192,9 +197,25 @@ impl RunResult {
         model.counts_cache_energy(c).total() + model.counts_network_energy(c).total()
     }
 
-    /// The registry rendered as deterministic JSON.
+    /// The registry rendered as deterministic JSON, with the run's
+    /// provenance manifest stamped in as the leading `"manifest"` field
+    /// when the result carries one.
     pub fn metrics_json(&self) -> String {
-        self.metrics().to_json()
+        let body = self.metrics().to_json();
+        match &self.manifest {
+            Some(m) => m.stamp(&body).unwrap_or(body),
+            None => body,
+        }
+    }
+
+    /// Stamps the run's manifest into any JSON artifact derived from
+    /// this result (trace, time-series, ...). Pass-through when the
+    /// result has no manifest.
+    pub fn stamp_artifact(&self, body: String) -> String {
+        match &self.manifest {
+            Some(m) => m.stamp(&body).unwrap_or(body),
+            None => body,
+        }
     }
 
     /// References per cycle across the whole chip (the throughput

@@ -1029,7 +1029,7 @@ impl CmpSimulator {
                         continue;
                     }
                     if self.trace_block == Some(msg.block) {
-                        eprintln!("[{now}] {msg:?}");
+                        cmpsim_engine::debug_log::trace(now, format_args!("{msg:?}"));
                     }
                     let attr_on = self.attr.is_some();
                     let mut ctx = std::mem::take(&mut self.ctx_pool);
@@ -1112,6 +1112,8 @@ impl CmpSimulator {
         result.breakdown = self.attr.take().map(TxAttribution::finish);
         result.arch = Some(self.arch_state());
         result.faults = self.faults.as_ref().map(FaultState::context);
+        result.manifest =
+            Some(crate::manifest::RunManifest::new(result.protocol, self.benchmark, &self.cfg));
         prof.record("finalize", finalize_start.elapsed().as_nanos() as u64);
         result.host = prof.finish(self.events, result.cycles);
         Ok(result)
@@ -1153,11 +1155,42 @@ pub fn run_matrix(
     benchmarks: &[Benchmark],
     cfg: &SystemConfig,
 ) -> Result<Vec<RunResult>, SimError> {
+    run_matrix_with_progress(protocols, benchmarks, cfg, None)
+}
+
+/// [`run_matrix`] with an optional live-telemetry sink: every finished
+/// cell reports its name, host events/s and ETA to `progress` as it
+/// completes (completion order, not row-major order — the stream is
+/// host-side telemetry, the returned results stay deterministic).
+pub fn run_matrix_with_progress(
+    protocols: &[ProtocolKind],
+    benchmarks: &[Benchmark],
+    cfg: &SystemConfig,
+    progress: Option<&crate::progress::ProgressSink>,
+) -> Result<Vec<RunResult>, SimError> {
     let jobs: Vec<(ProtocolKind, Benchmark)> = benchmarks
         .iter()
         .flat_map(|&b| protocols.iter().map(move |&p| (p, b)))
         .collect();
-    par_map(&jobs, |&(p, b)| run_benchmark(p, b, cfg)).into_iter().collect()
+    let out = par_map(&jobs, |&(p, b)| {
+        let r = run_benchmark(p, b, cfg);
+        if let Some(sink) = progress {
+            let cell = format!("{}/{}", p.name(), b.name());
+            match &r {
+                Ok(res) => {
+                    sink.cell_done(&cell, "ok", res.host.events, res.host.events_per_sec())
+                }
+                Err(e) => sink.cell_done(&cell, e.kind_label(), 0, 0.0),
+            }
+        }
+        r
+    })
+    .into_iter()
+    .collect();
+    if let Some(sink) = progress {
+        sink.finish();
+    }
+    out
 }
 
 #[cfg(test)]

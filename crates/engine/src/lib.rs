@@ -28,9 +28,13 @@
 //!   trace-event (Perfetto-loadable) JSON export.
 //! * [`phase`] — the critical-path phase taxonomy and per-transaction
 //!   cycle/energy-event accumulators used by the attribution profiler.
-//! * [`profile`] — host-side scoped wall-clock timers and the
-//!   simulated-cycles/sec throughput summary (stderr-only; never part
-//!   of deterministic artifacts).
+//! * [`profile`] — host-side scoped wall-clock timers, the peak-RSS
+//!   high-water mark and the simulated-cycles/sec throughput summary
+//!   (stderr or side-channel JSON only; never part of deterministic
+//!   artifacts).
+//! * [`debug_log`] — the shared sink behind the ad-hoc block-trace
+//!   prints: one consistent `[cycle] message` line shape, capturable
+//!   in tests instead of hard-wired to stderr.
 //! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
 //!   used to run independent simulations (protocol × workload sweeps) on
 //!   all host cores.
@@ -39,6 +43,7 @@
 //! cycle-level coherence simulators are causality-bound, so parallelism is
 //! applied across the parameter sweep, not inside one run.
 
+pub mod debug_log;
 pub mod event;
 pub mod fault;
 pub mod fxmap;

@@ -6,7 +6,10 @@
 //! nondeterministic wall-clock durations and must never leak into
 //! simulation artifacts (metrics JSON, time-series, breakdown reports),
 //! which are required to be byte-identical across identical runs. The
-//! CLI prints profiles to stderr only.
+//! CLI prints profiles to stderr only; [`HostProfile::to_json`] is a
+//! separate host-side export that carries the run's manifest id so the
+//! nondeterministic data can be joined back to the deterministic
+//! artifacts without contaminating them.
 
 use std::time::Instant;
 
@@ -19,6 +22,10 @@ pub struct HostProfile {
     pub events: u64,
     /// Simulated cycles covered by the run (measured window).
     pub cycles: u64,
+    /// Peak resident-set high-water mark of the process in bytes
+    /// (`VmHWM`), sampled when the profile was finalized. Zero on
+    /// platforms without `/proc/self/status`.
+    pub peak_rss_bytes: u64,
 }
 
 impl HostProfile {
@@ -54,14 +61,45 @@ impl HostProfile {
 
     /// The one-line throughput summary the CLI prints to stderr.
     pub fn throughput_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "self-profile: {} events, {} sim-cycles in {:.3} s host ({:.2} Mevents/s, {:.2} Msim-cycles/s)",
             self.events,
             self.cycles,
             self.total_ns() as f64 / 1e9,
             self.events_per_sec() / 1e6,
             self.cycles_per_sec() / 1e6,
-        )
+        );
+        if self.peak_rss_bytes > 0 {
+            line.push_str(&format!(", peak RSS {:.1} MiB", self.peak_rss_bytes as f64 / (1024.0 * 1024.0)));
+        }
+        line
+    }
+
+    /// Per-span JSON export of the host profile. This is *host-side*
+    /// data (wall clock, RSS): it is written to its own file, never
+    /// embedded in deterministic artifacts. `run_id` is the manifest id
+    /// of the deterministic run this profile belongs to, so tooling can
+    /// join the two without mixing them.
+    pub fn to_json(&self, run_id: Option<&str>) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"schema\": \"cmpsim-hostprofile-v1\",\n");
+        match run_id {
+            Some(id) => out.push_str(&format!("  \"run_id\": \"{id}\",\n")),
+            None => out.push_str("  \"run_id\": null,\n"),
+        }
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        out.push_str(&format!("  \"total_ns\": {},\n", self.total_ns()));
+        out.push_str(&format!("  \"events_per_sec\": {:.3},\n", self.events_per_sec()));
+        out.push_str(&format!("  \"cycles_per_sec\": {:.3},\n", self.cycles_per_sec()));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"spans\": [\n");
+        for (i, &(name, ns)) in self.spans.iter().enumerate() {
+            let sep = if i + 1 == self.spans.len() { "" } else { "," };
+            out.push_str(&format!("    {{\"name\": \"{name}\", \"ns\": {ns}}}{sep}\n"));
+        }
+        out.push_str("  ]\n}");
+        out
     }
 
     /// Per-subsystem lines (span name, milliseconds, share of total).
@@ -111,10 +149,24 @@ impl HostProfiler {
         }
     }
 
-    /// Finalizes into a [`HostProfile`] with the given simulation totals.
+    /// Finalizes into a [`HostProfile`] with the given simulation
+    /// totals, sampling the process peak-RSS high-water mark.
     pub fn finish(self, events: u64, cycles: u64) -> HostProfile {
-        HostProfile { spans: self.spans, events, cycles }
+        HostProfile { spans: self.spans, events, cycles, peak_rss_bytes: peak_rss_bytes() }
     }
+}
+
+/// The process peak resident-set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
 }
 
 #[cfg(test)]
@@ -143,11 +195,39 @@ mod tests {
 
     #[test]
     fn throughput_line_mentions_rates() {
-        let prof = HostProfile { spans: vec![("loop", 1_000_000_000)], events: 2_000_000, cycles: 4_000_000 };
+        let prof = HostProfile {
+            spans: vec![("loop", 1_000_000_000)],
+            events: 2_000_000,
+            cycles: 4_000_000,
+            ..Default::default()
+        };
         assert!((prof.events_per_sec() - 2e6).abs() < 1.0);
         assert!((prof.cycles_per_sec() - 4e6).abs() < 1.0);
         let line = prof.throughput_line();
         assert!(line.contains("Msim-cycles/s"), "{line}");
+    }
+
+    #[test]
+    fn finish_samples_peak_rss_on_linux() {
+        let prof = HostProfiler::new().finish(1, 1);
+        if cfg!(target_os = "linux") {
+            assert!(prof.peak_rss_bytes > 0, "VmHWM should be readable on Linux");
+            assert!(prof.throughput_line().contains("peak RSS"));
+        }
+    }
+
+    #[test]
+    fn json_export_lists_spans_and_run_id() {
+        let mut p = HostProfiler::new();
+        p.record("event_loop", 750);
+        p.record("finalize", 250);
+        let prof = p.finish(10, 1000);
+        let j = prof.to_json(Some("deadbeef01234567"));
+        assert!(j.contains("\"schema\": \"cmpsim-hostprofile-v1\""), "{j}");
+        assert!(j.contains("\"run_id\": \"deadbeef01234567\""), "{j}");
+        assert!(j.contains("{\"name\": \"event_loop\", \"ns\": 750},"), "{j}");
+        assert!(j.contains("{\"name\": \"finalize\", \"ns\": 250}\n"), "{j}");
+        assert!(prof.to_json(None).contains("\"run_id\": null"));
     }
 
     #[test]

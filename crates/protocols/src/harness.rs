@@ -205,14 +205,14 @@ impl<P: CoherenceProtocol> Harness<P> {
                     if std::env::var_os("CMPSIM_TRACE").is_some()
                         && self.events_processed > max_events.saturating_sub(200)
                     {
-                        eprintln!("[{now}] {msg:?}");
+                        cmpsim_engine::debug_log::trace(now, format_args!("{msg:?}"));
                     }
                     if let Some(b) = std::env::var("CMPSIM_TRACE_BLOCK")
                         .ok()
                         .and_then(|v| v.parse::<u64>().ok())
                     {
                         if msg.block == b {
-                            eprintln!("[{now}] {msg:?}");
+                            cmpsim_engine::debug_log::trace(now, format_args!("{msg:?}"));
                         }
                     }
                     let mut ctx = Ctx::at(now);

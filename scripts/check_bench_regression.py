@@ -12,6 +12,12 @@ from the measured ns/iter:
 The check fails when any protocol's events/s falls more than
 --threshold (default 20%) below the baseline. With --rebaseline the
 baseline file is rewritten from the current artifact instead.
+
+DEPRECATED: `cmpsim-cli compare --baseline current.json baseline.json`
+is the maintained Rust port of this gate (same semantics, plus a
+machine-readable JSON diff via --out); scripts/perf_smoke.sh uses it.
+This script stays as a stdlib-only fallback for environments without
+the release binary.
 """
 
 import argparse

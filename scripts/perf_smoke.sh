@@ -19,7 +19,12 @@ mkdir -p "$CMPSIM_BENCH_DIR"
 
 cargo bench -p cmpsim-bench --bench events_per_sec
 
-python3 scripts/check_bench_regression.py \
+# The gate is `cmpsim-cli compare --baseline` (the Rust port of
+# scripts/check_bench_regression.py, which stays in-tree as a
+# deprecated fallback for environments without the release binary).
+cargo build --release -p cmpsim --bin cmpsim-cli
+target/release/cmpsim-cli compare --baseline \
     "$CMPSIM_BENCH_DIR/BENCH_events_per_sec.json" \
     reports/bench_baseline.json \
+    --out "$CMPSIM_BENCH_DIR/bench_compare.json" \
     "$@"

@@ -8,6 +8,11 @@ document-local $ref ("#/definitions/...").
 
 Usage:
     scripts/validate_schema.py schemas/metrics.schema.json metrics.json ...
+    scripts/validate_schema.py --ndjson schemas/progress.schema.json run.ndjson
+
+With --ndjson each input file is a newline-delimited JSON stream (the
+`--progress-out` telemetry) and every non-empty line is validated as
+one document against the schema.
 
 Exits 0 if every document validates, 1 with the first few errors
 otherwise.
@@ -84,32 +89,58 @@ def validate(value, schema, path, errors, root=None):
                 validate(item, items, f"{path}[{i}]", errors, root)
 
 
+def load_documents(doc_path, ndjson):
+    """Yields (label, parse_error_or_None, document) per JSON document."""
+    with open(doc_path, encoding="utf-8") as f:
+        if not ndjson:
+            try:
+                yield doc_path, None, json.load(f)
+            except json.JSONDecodeError as e:
+                yield doc_path, str(e), None
+            return
+        for i, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            try:
+                yield f"{doc_path}:{i}", None, json.loads(line)
+            except json.JSONDecodeError as e:
+                yield f"{doc_path}:{i}", str(e), None
+
+
 def main(argv):
-    if len(argv) < 3:
+    args = list(argv[1:])
+    ndjson = "--ndjson" in args
+    if ndjson:
+        args.remove("--ndjson")
+    if len(args) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         schema = json.load(f)
     failed = False
-    for doc_path in argv[2:]:
-        with open(doc_path, encoding="utf-8") as f:
-            try:
-                doc = json.load(f)
-            except json.JSONDecodeError as e:
-                print(f"FAIL {doc_path}: not valid JSON: {e}")
-                failed = True
+    for doc_path in args[1:]:
+        path_errors = []
+        count = 0
+        for label, parse_error, doc in load_documents(doc_path, ndjson):
+            count += 1
+            if parse_error is not None:
+                path_errors.append(f"{label}: not valid JSON: {parse_error}")
                 continue
-        errors = []
-        validate(doc, schema, "$", errors)
-        if errors:
+            errors = []
+            validate(doc, schema, "$", errors)
+            path_errors.extend(f"{label}: {e}" for e in errors)
+        if count == 0:
+            path_errors.append(f"{doc_path}: empty stream")
+        if path_errors:
             failed = True
-            print(f"FAIL {doc_path} against {argv[1]}:")
-            for e in errors[:10]:
+            print(f"FAIL {doc_path} against {args[0]}:")
+            for e in path_errors[:10]:
                 print(f"  {e}")
-            if len(errors) > 10:
-                print(f"  ... and {len(errors) - 10} more")
+            if len(path_errors) > 10:
+                print(f"  ... and {len(path_errors) - 10} more")
         else:
-            print(f"ok   {doc_path} matches {argv[1]}")
+            suffix = f" ({count} documents)" if ndjson else ""
+            print(f"ok   {doc_path} matches {args[0]}{suffix}")
     return 1 if failed else 0
 
 
