@@ -4,7 +4,7 @@
 //! One iteration is one full apache run (4k refs/core). The event count
 //! of a run is deterministic for a fixed config+seed, so ns/iter and
 //! events/s are interchangeable; the `EVENTS <protocol> <count>` lines
-//! on stdout let `scripts/check_bench_regression.py` convert the
+//! on stdout let `cmpsim-cli compare --baseline` convert the
 //! `BENCH_events_per_sec.json` timings into events/s against the
 //! checked-in `reports/bench_baseline.json`.
 

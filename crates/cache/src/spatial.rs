@@ -1,0 +1,133 @@
+//! Spatial (per-tile) counter grids for heatmap exports.
+//!
+//! A [`TileGrid`] is a dense row-major `rows x cols` grid of `u64`
+//! counts — per-tile L1 misses, per-tile references, per-tile energy
+//! picojoules — with deterministic iteration order and a merge that
+//! composes with the engine's stats primitives. The observation layer
+//! samples these into the interval time-series and renders them as
+//! ASCII/JSON/CSV heatmaps; nothing in here affects simulated timing.
+
+use cmpsim_engine::stats::add_slices;
+
+/// A dense row-major grid of per-tile counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileGrid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<u64>,
+}
+
+impl TileGrid {
+    /// Builds a zeroed `rows x cols` grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, cells: vec![0; rows * cols] }
+    }
+
+    /// Grid height in tiles.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width in tiles.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds `n` to the cell for `tile` (row-major index).
+    #[inline]
+    pub fn add(&mut self, tile: usize, n: u64) {
+        self.cells[tile] = self.cells[tile].saturating_add(n);
+    }
+
+    /// Count at `tile` (row-major index).
+    #[inline]
+    pub fn get(&self, tile: usize) -> u64 {
+        self.cells[tile]
+    }
+
+    /// All cells in row-major order.
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Sum over all cells (saturating).
+    pub fn total(&self) -> u64 {
+        self.cells.iter().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Largest single cell, or 0 for an empty grid.
+    pub fn max(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Zeroes every cell, keeping the geometry.
+    pub fn reset(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Merges another grid cell-wise. Geometries must match (a grid
+    /// merged into a default/empty one adopts its geometry).
+    pub fn merge(&mut self, other: &TileGrid) {
+        if self.cells.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "merging grids of different geometry"
+        );
+        add_slices(&mut self.cells, &other.cells);
+    }
+
+    /// Overwrites the grid from a flat row-major slice (must be
+    /// `rows * cols` long).
+    pub fn load(&mut self, cells: &[u64]) {
+        assert_eq!(cells.len(), self.rows * self.cols, "cell count mismatch");
+        self.cells.copy_from_slice(cells);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_accumulates_and_sums() {
+        let mut g = TileGrid::new(2, 3);
+        g.add(0, 5);
+        g.add(5, 7);
+        g.add(0, 1);
+        assert_eq!(g.get(0), 6);
+        assert_eq!(g.total(), 13);
+        assert_eq!(g.max(), 7);
+        assert_eq!(g.cells().len(), 6);
+        g.reset();
+        assert_eq!(g.total(), 0);
+        assert_eq!((g.rows(), g.cols()), (2, 3));
+    }
+
+    #[test]
+    fn grid_merge_is_cellwise() {
+        let mut a = TileGrid::new(2, 2);
+        a.add(1, 3);
+        let mut b = TileGrid::new(2, 2);
+        b.add(1, 4);
+        b.add(2, 9);
+        a.merge(&b);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 9);
+        // Merging into a default grid adopts the source geometry.
+        let mut empty = TileGrid::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn grid_load_replaces_cells() {
+        let mut g = TileGrid::new(1, 3);
+        g.load(&[4, 5, 6]);
+        assert_eq!(g.cells(), &[4, 5, 6]);
+        assert_eq!(g.total(), 15);
+    }
+}

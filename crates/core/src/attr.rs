@@ -29,6 +29,18 @@
 //! span is the fill phase — which is what makes the sum exact by
 //! construction rather than by sampling.
 //!
+//! When VM identity is supplied ([`TxAttribution::with_vms`]), every
+//! charge above is *additionally* bucketed by the originating VM (the
+//! VM of the requestor core), and the same tiling holds per tenant:
+//! summing any [`VmBucket`] field over all VMs reproduces the chip
+//! aggregate bit-for-bit, because each charge is the same integer add
+//! applied to exactly one VM bucket and to the chip total. On top of
+//! that, every message is charged into an N x N [`MatrixCell`] grid —
+//! cell `(a, v)` holds the costs VM `a` imposed on VM `v`: traffic of
+//! `a`'s transactions delivered into `v`'s tiles, and critical-path
+//! cycles `v`'s transactions lost in invalidation/forward/retry spans
+//! terminating in `a`'s tiles (`stolen_cycles`).
+//!
 //! Like tracing, attribution is observation-only: it never touches the
 //! event queue or the RNG, and simulated timing is bit-identical with
 //! it on or off.
@@ -158,8 +170,16 @@ fn transition(loc: Loc, e: &AttrEvent, requestor: Tile) -> Loc {
 
 /// The deterministic cursor sweep: charges `[issued, end)` across the
 /// phases. Returns the per-phase cycles (summing exactly to
-/// `end - issued`) and the final location.
-fn sweep(issued: Cycle, requestor: Tile, events: &mut [AttrEvent], end: Cycle) -> (PhaseCycles, Loc) {
+/// `end - issued`) and the final location. `on_span` observes each
+/// span's clamped in-span charge (for cross-VM stolen-cycle
+/// accounting); pass a no-op closure when only the phases matter.
+fn sweep(
+    issued: Cycle,
+    requestor: Tile,
+    events: &mut [AttrEvent],
+    end: Cycle,
+    mut on_span: impl FnMut(&AttrEvent, u64),
+) -> (PhaseCycles, Loc) {
     events.sort_by_key(|e| (e.depart, e.arrival));
     let mut pc = PhaseCycles::default();
     let mut cur = issued;
@@ -177,6 +197,7 @@ fn sweep(issued: Cycle, requestor: Tile, events: &mut [AttrEvent], end: Cycle) -
             let stop = e.arrival.min(end);
             if stop > cur {
                 pc.add(span_phase(e.class), stop - cur);
+                on_span(e, stop - cur);
                 cur = stop;
             }
         }
@@ -197,6 +218,73 @@ struct OpenAttr {
     requestor: Tile,
     events: Vec<AttrEvent>,
     counts: EventCounts,
+    /// The missed block is backed by a deduplicated (inter-VM shared)
+    /// page — the transaction is cross-VM by construction.
+    dedup: bool,
+}
+
+/// Per-VM bucket of the chip-level attribution aggregates. Summing any
+/// field over all VMs reproduces the corresponding chip aggregate
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmBucket {
+    /// Completed transactions issued by this VM's cores.
+    pub completed: u64,
+    /// Sum of their end-to-end miss latencies.
+    pub latency_cycles: u64,
+    /// Their per-phase critical-path cycles (sums to `latency_cycles`).
+    pub phase_cycles: PhaseCycles,
+    /// Their attributed energy-event counts.
+    pub counts: EventCounts,
+    /// Pre-issue core wait on MSHR conflicts.
+    pub mshr_wait_cycles: u64,
+    /// Pre-issue core wait on busy/locked blocks.
+    pub retry_wait_cycles: u64,
+    /// Completed transactions on VM-private blocks.
+    pub intra_txs: u64,
+    /// Completed transactions on dedup-backed (inter-VM shared) blocks.
+    pub cross_txs: u64,
+    /// Critical-path cycles this VM's transactions lost in
+    /// invalidation/forward/retry spans ending in *other* VMs' tiles
+    /// (the row sum of its column in the interference matrix, off the
+    /// diagonal).
+    pub stolen_cycles: u64,
+    /// Transactions still open at the end of the run.
+    pub open_txs: u64,
+}
+
+/// One cell `(aggressor a, victim v)` of the cross-VM interference
+/// matrix: costs VM `a` imposed on VM `v`. Message counts are charged
+/// at send time — `a` = the VM of the transaction (or source tile) the
+/// message belongs to, `v` = the VM of the destination tile. Stolen
+/// cycles are charged at completion — `v` = the requestor VM whose
+/// critical path grew, `a` = the VM of the remote tile the
+/// invalidation/forward/retry span ended in. The diagonal holds a VM's
+/// self-interference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// Messages delivered into the victim's tiles.
+    pub msgs: u64,
+    /// Of which: invalidation-round traffic.
+    pub inv_msgs: u64,
+    /// Of which: forwarded (indirected) requests.
+    pub fwd_msgs: u64,
+    /// Of which: traffic on dedup-backed (inter-VM shared) blocks.
+    pub dedup_msgs: u64,
+    /// Routing events of those messages.
+    pub routing: u64,
+    /// Flit-link traversals of those messages.
+    pub flit_links: u64,
+    /// Victim critical-path cycles spent in inv/forward/retry spans
+    /// ending in the aggressor's tiles.
+    pub stolen_cycles: u64,
+}
+
+impl MatrixCell {
+    /// True when every field is zero (cell renders as empty).
+    pub fn is_zero(&self) -> bool {
+        *self == MatrixCell::default()
+    }
 }
 
 /// The per-transaction attribution tracker. Owned by the simulator;
@@ -231,11 +319,32 @@ pub struct TxAttribution {
     tx_counts: EventCounts,
     /// Energy-event counts with no open transaction on their block.
     untracked_counts: EventCounts,
+    /// VM of each tile's core (all zeros without tenant identity).
+    vm_of: Vec<usize>,
+    /// Number of VMs (1 without tenant identity).
+    num_vms: usize,
+    /// Per-VM buckets of the aggregates above, indexed by VM id.
+    vm: Vec<VmBucket>,
+    /// Cross-VM interference matrix, row-major `[aggressor][victim]`.
+    matrix: Vec<MatrixCell>,
+    /// Energy-event counts of completed transactions by requestor tile
+    /// (the spatial split of `tx_counts`, for energy heatmaps).
+    tile_counts: Vec<EventCounts>,
 }
 
 impl TxAttribution {
-    /// Creates a tracker for a `tiles`-tile chip.
+    /// Creates a tracker for a `tiles`-tile chip without tenant
+    /// identity (everything lands in a single VM-0 bucket).
     pub fn new(tiles: usize) -> Self {
+        Self::with_vms(vec![0; tiles], 1)
+    }
+
+    /// Creates a tracker with tenant identity: `vm_of[tile]` is the VM
+    /// the core on `tile` belongs to, each `< num_vms`.
+    pub fn with_vms(vm_of: Vec<usize>, num_vms: usize) -> Self {
+        let tiles = vm_of.len();
+        let num_vms = num_vms.max(1);
+        debug_assert!(vm_of.iter().all(|&v| v < num_vms), "vm_of out of range");
         Self {
             open: vec![None; tiles],
             by_block: BTreeMap::new(),
@@ -248,11 +357,17 @@ impl TxAttribution {
             retry_wait_cycles: 0,
             tx_counts: EventCounts::default(),
             untracked_counts: EventCounts::default(),
+            vm: vec![VmBucket::default(); num_vms],
+            matrix: vec![MatrixCell::default(); num_vms * num_vms],
+            tile_counts: vec![EventCounts::default(); tiles],
+            vm_of,
+            num_vms,
         }
     }
 
     /// Opens a transaction for the L1 miss issuing at `now` on `tile`.
-    pub fn on_issue(&mut self, now: Cycle, tile: Tile, block: Block, write: bool) {
+    /// `dedup` marks a miss on a deduplicated (inter-VM shared) block.
+    pub fn on_issue(&mut self, now: Cycle, tile: Tile, block: Block, write: bool, dedup: bool) {
         if let Some(stale) = self.open[tile].take() {
             self.unlink(stale.block, tile);
         }
@@ -263,6 +378,7 @@ impl TxAttribution {
             requestor: tile,
             events: Vec::new(),
             counts: EventCounts::default(),
+            dedup,
         });
         self.by_block.entry(block).or_default().push(tile);
     }
@@ -274,7 +390,10 @@ impl TxAttribution {
 
     /// Records one network message span on `block`, charging its NoC
     /// energy events (`links` routings, `links * flits` flit-links) the
-    /// same way the mesh counts them.
+    /// same way the mesh counts them, plus one interference-matrix cell
+    /// (aggressor = the VM of the owning transaction's requestor, or of
+    /// `src`'s tile for untracked traffic; victim = the VM of `dst`'s
+    /// tile). `dedup` marks traffic on an inter-VM shared block.
     #[allow(clippy::too_many_arguments)]
     pub fn on_message(
         &mut self,
@@ -282,23 +401,49 @@ impl TxAttribution {
         arrival: Cycle,
         class: MsgClass,
         block: Block,
+        src: Node,
         dst: Node,
         links: u64,
         flits: u64,
+        dedup: bool,
     ) {
         let noc = EventCounts { routing: links, flit_links: links * flits, ..Default::default() };
-        if let Some(tx) = self.owner_of(block) {
-            tx.events.push(AttrEvent {
-                depart,
-                arrival,
-                class,
-                dst_l1: matches!(dst, Node::L1(_)),
-                dst_tile: dst.tile(),
-            });
-            tx.counts.merge(&noc);
-        } else {
-            self.untracked_counts.merge(&noc);
+        let owner_tile = self.by_block.get(&block).and_then(|tiles| tiles.first().copied());
+        let tx = match owner_tile {
+            Some(t) => self.open[t].as_mut(),
+            None => None,
+        };
+        let aggressor = match tx {
+            Some(tx) => {
+                tx.events.push(AttrEvent {
+                    depart,
+                    arrival,
+                    class,
+                    dst_l1: matches!(dst, Node::L1(_)),
+                    dst_tile: dst.tile(),
+                });
+                tx.counts.merge(&noc);
+                tx.dedup |= dedup;
+                self.vm_of[tx.requestor]
+            }
+            None => {
+                self.untracked_counts.merge(&noc);
+                self.vm_of[src.tile()]
+            }
+        };
+        let victim = self.vm_of[dst.tile()];
+        let cell = &mut self.matrix[aggressor * self.num_vms + victim];
+        cell.msgs += 1;
+        match class {
+            MsgClass::Inv => cell.inv_msgs += 1,
+            MsgClass::Forward => cell.fwd_msgs += 1,
+            _ => {}
         }
+        if dedup {
+            cell.dedup_msgs += 1;
+        }
+        cell.routing += links;
+        cell.flit_links += links * flits;
     }
 
     /// Charges a cache-side energy-event delta (the counter movement of
@@ -314,23 +459,47 @@ impl TxAttribution {
         }
     }
 
-    /// Records a blocked (pre-issue) core retry of `cycles` cycles.
-    pub fn on_blocked(&mut self, reason: BlockReason, cycles: u64) {
+    /// Records a blocked (pre-issue) core retry of `cycles` cycles on
+    /// `tile`'s core.
+    pub fn on_blocked(&mut self, reason: BlockReason, cycles: u64, tile: Tile) {
+        let vm = &mut self.vm[self.vm_of[tile]];
         match reason {
-            BlockReason::MshrConflict => self.mshr_wait_cycles += cycles,
-            BlockReason::BusyBlock => self.retry_wait_cycles += cycles,
+            BlockReason::MshrConflict => {
+                self.mshr_wait_cycles += cycles;
+                vm.mshr_wait_cycles += cycles;
+            }
+            BlockReason::BusyBlock => {
+                self.retry_wait_cycles += cycles;
+                vm.retry_wait_cycles += cycles;
+            }
         }
     }
 
     /// Completes the transaction open on `tile` at `now`: runs the
-    /// sweep and folds the result into the aggregates.
+    /// sweep and folds the result into the chip, VM, tile, and matrix
+    /// aggregates.
     pub fn on_completion(&mut self, now: Cycle, tile: Tile) {
         let Some(mut tx) = self.open[tile].take() else {
             return;
         };
         self.unlink(tx.block, tile);
         let latency = now.saturating_sub(tx.issued);
-        let (phases, _) = sweep(tx.issued, tx.requestor, &mut tx.events, now);
+        let req_vm = self.vm_of[tx.requestor];
+        let num_vms = self.num_vms;
+        let vm_of = &self.vm_of;
+        let matrix = &mut self.matrix;
+        let mut stolen = 0u64;
+        let (phases, _) = sweep(tx.issued, tx.requestor, &mut tx.events, now, |e, cycles| {
+            // Cross-VM critical-path theft: inv/forward/retry spans of
+            // this (victim) transaction ending in another VM's tiles.
+            let dst_vm = vm_of[e.dst_tile];
+            if dst_vm != req_vm
+                && matches!(e.class, MsgClass::Inv | MsgClass::Forward | MsgClass::Retry)
+            {
+                matrix[dst_vm * num_vms + req_vm].stolen_cycles += cycles;
+                stolen += cycles;
+            }
+        });
         for (p, cycles) in phases.iter() {
             self.hists[p.index()].record(cycles);
         }
@@ -341,6 +510,18 @@ impl TxAttribution {
             self.reconciled += 1;
         }
         self.tx_counts.merge(&tx.counts);
+        self.tile_counts[tx.requestor].merge(&tx.counts);
+        let vm = &mut self.vm[req_vm];
+        vm.completed += 1;
+        vm.latency_cycles += latency;
+        vm.phase_cycles.merge(&phases);
+        vm.counts.merge(&tx.counts);
+        vm.stolen_cycles += stolen;
+        if tx.dedup {
+            vm.cross_txs += 1;
+        } else {
+            vm.intra_txs += 1;
+        }
     }
 
     fn unlink(&mut self, block: Block, tile: Tile) {
@@ -369,6 +550,9 @@ impl TxAttribution {
         self.retry_wait_cycles = 0;
         self.tx_counts = EventCounts::default();
         self.untracked_counts = EventCounts::default();
+        self.vm = vec![VmBucket::default(); self.num_vms];
+        self.matrix = vec![MatrixCell::default(); self.num_vms * self.num_vms];
+        self.tile_counts = vec![EventCounts::default(); self.tile_counts.len()];
         for tx in self.open.iter_mut().flatten() {
             tx.counts = EventCounts::default();
         }
@@ -389,7 +573,7 @@ impl TxAttribution {
             .take(n)
             .map(|(tile, tx)| {
                 let mut events = tx.events.clone();
-                let (phases, loc) = sweep(tx.issued, tx.requestor, &mut events, now);
+                let (phases, loc) = sweep(tx.issued, tx.requestor, &mut events, now, |_, _| {});
                 let parts: Vec<String> = phases
                     .iter()
                     .filter(|&(_, c)| c > 0)
@@ -414,9 +598,11 @@ impl TxAttribution {
     pub fn finish(self) -> BreakdownLog {
         let mut open_counts = EventCounts::default();
         let mut open_txs = 0;
+        let mut vm = self.vm;
         for tx in self.open.iter().flatten() {
             open_counts.merge(&tx.counts);
             open_txs += 1;
+            vm[self.vm_of[tx.requestor]].open_txs += 1;
         }
         BreakdownLog {
             hists: self.hists,
@@ -430,6 +616,11 @@ impl TxAttribution {
             tx_counts: self.tx_counts,
             untracked_counts: self.untracked_counts,
             open_counts,
+            vm,
+            matrix: self.matrix,
+            num_vms: self.num_vms,
+            vm_of: self.vm_of,
+            tile_counts: self.tile_counts,
         }
     }
 }
@@ -462,9 +653,26 @@ pub struct BreakdownLog {
     pub untracked_counts: EventCounts,
     /// Energy events of transactions still open at the end.
     pub open_counts: EventCounts,
+    /// Per-VM buckets; each field sums over VMs to the chip aggregate
+    /// of the same name bit-for-bit.
+    pub vm: Vec<VmBucket>,
+    /// Cross-VM interference matrix, row-major `[aggressor][victim]`,
+    /// `num_vms * num_vms` cells.
+    pub matrix: Vec<MatrixCell>,
+    /// Number of VMs (matrix dimension; `vm.len()`).
+    pub num_vms: usize,
+    /// VM of each tile's core.
+    pub vm_of: Vec<usize>,
+    /// Energy events of completed transactions by requestor tile (the
+    /// spatial split of `tx_counts`).
+    pub tile_counts: Vec<EventCounts>,
 }
 
 impl BreakdownLog {
+    /// The interference-matrix cell for `(aggressor, victim)`.
+    pub fn matrix_cell(&self, aggressor: usize, victim: usize) -> &MatrixCell {
+        &self.matrix[aggressor * self.num_vms + victim]
+    }
     /// All attributed energy events; equals the aggregate proto/NoC
     /// counters integer-exactly.
     pub fn total_counts(&self) -> EventCounts {
@@ -522,6 +730,13 @@ impl BreakdownLog {
                 reg.set_counter(&format!("{prefix}.events.{bucket}.{name}"), v);
             }
         }
+        for (i, vm) in self.vm.iter().enumerate() {
+            reg.set_counter(&format!("{prefix}.vm.{i}.completed"), vm.completed);
+            reg.set_counter(&format!("{prefix}.vm.{i}.latency_cycles"), vm.latency_cycles);
+            reg.set_counter(&format!("{prefix}.vm.{i}.intra_txs"), vm.intra_txs);
+            reg.set_counter(&format!("{prefix}.vm.{i}.cross_txs"), vm.cross_txs);
+            reg.set_counter(&format!("{prefix}.vm.{i}.stolen_cycles"), vm.stolen_cycles);
+        }
     }
 }
 
@@ -559,9 +774,9 @@ mod tests {
     #[test]
     fn sweep_tiles_simple_miss() {
         let mut a = TxAttribution::new(4);
-        a.on_issue(10, 1, 0x40, false);
-        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L2(2), 3, 1);
-        a.on_message(25, 40, MsgClass::Data, 0x40, Node::L1(1), 3, 5);
+        a.on_issue(10, 1, 0x40, false, false);
+        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L1(1), Node::L2(2), 3, 1, false);
+        a.on_message(25, 40, MsgClass::Data, 0x40, Node::L2(2), Node::L1(1), 3, 5, false);
         a.on_completion(43, 1);
         let log = a.finish();
         assert_eq!(log.completed, 1);
@@ -582,12 +797,12 @@ mod tests {
     #[test]
     fn sweep_charges_memory_gap() {
         let mut a = TxAttribution::new(4);
-        a.on_issue(0, 0, 0x80, true);
-        a.on_message(0, 10, MsgClass::Request, 0x80, Node::L2(3), 2, 1);
-        a.on_message(12, 20, MsgClass::MemRead, 0x80, Node::L2(3), 4, 1);
+        a.on_issue(0, 0, 0x80, true, false);
+        a.on_message(0, 10, MsgClass::Request, 0x80, Node::L1(0), Node::L2(3), 2, 1, false);
+        a.on_message(12, 20, MsgClass::MemRead, 0x80, Node::L2(3), Node::L2(3), 4, 1, false);
         // DRAM: 20..320 is a gap at the controller.
-        a.on_message(320, 330, MsgClass::MemData, 0x80, Node::L2(3), 4, 5);
-        a.on_message(335, 350, MsgClass::Data, 0x80, Node::L1(0), 5, 5);
+        a.on_message(320, 330, MsgClass::MemData, 0x80, Node::L2(3), Node::L2(3), 4, 5, false);
+        a.on_message(335, 350, MsgClass::Data, 0x80, Node::L2(3), Node::L1(0), 5, 5, false);
         a.on_completion(352, 0);
         let log = a.finish();
         assert_eq!(log.reconciled, 1);
@@ -604,9 +819,9 @@ mod tests {
     #[test]
     fn sweep_clamps_to_completion() {
         let mut a = TxAttribution::new(2);
-        a.on_issue(100, 0, 0x10, false);
-        a.on_message(100, 110, MsgClass::Request, 0x10, Node::L2(1), 2, 1);
-        a.on_message(110, 500, MsgClass::Inv, 0x10, Node::L1(1), 2, 1);
+        a.on_issue(100, 0, 0x10, false, false);
+        a.on_message(100, 110, MsgClass::Request, 0x10, Node::L1(0), Node::L2(1), 2, 1, false);
+        a.on_message(110, 500, MsgClass::Inv, 0x10, Node::L2(1), Node::L1(1), 2, 1, false);
         a.on_completion(130, 0);
         let log = a.finish();
         assert_eq!(log.reconciled, 1);
@@ -617,7 +832,7 @@ mod tests {
     #[test]
     fn untracked_traffic_lands_in_background_bucket() {
         let mut a = TxAttribution::new(2);
-        a.on_message(5, 9, MsgClass::Control, 0x99, Node::L2(0), 2, 1);
+        a.on_message(5, 9, MsgClass::Control, 0x99, Node::L2(1), Node::L2(0), 2, 1, false);
         a.on_cache_events(0x99, EventCounts { l2_tag: 1, ..Default::default() });
         let log = a.finish();
         assert_eq!(log.untracked_counts.routing, 2);
@@ -629,9 +844,9 @@ mod tests {
     #[test]
     fn blocked_waits_split_by_reason() {
         let mut a = TxAttribution::new(1);
-        a.on_blocked(BlockReason::MshrConflict, 7);
-        a.on_blocked(BlockReason::MshrConflict, 7);
-        a.on_blocked(BlockReason::BusyBlock, 7);
+        a.on_blocked(BlockReason::MshrConflict, 7, 0);
+        a.on_blocked(BlockReason::MshrConflict, 7, 0);
+        a.on_blocked(BlockReason::BusyBlock, 7, 0);
         let log = a.finish();
         assert_eq!(log.mshr_wait_cycles, 14);
         assert_eq!(log.retry_wait_cycles, 7);
@@ -642,10 +857,10 @@ mod tests {
     #[test]
     fn reset_keeps_spans_zeroes_counts() {
         let mut a = TxAttribution::new(2);
-        a.on_issue(0, 0, 0x40, false);
-        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L2(1), 3, 1);
+        a.on_issue(0, 0, 0x40, false, false);
+        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L1(0), Node::L2(1), 3, 1, false);
         a.reset();
-        a.on_message(12, 30, MsgClass::Data, 0x40, Node::L1(0), 3, 5);
+        a.on_message(12, 30, MsgClass::Data, 0x40, Node::L2(1), Node::L1(0), 3, 5, false);
         a.on_completion(32, 0);
         let log = a.finish();
         assert_eq!(log.completed, 1);
@@ -660,9 +875,9 @@ mod tests {
     #[test]
     fn hists_record_one_sample_per_phase_per_tx() {
         let mut a = TxAttribution::new(2);
-        a.on_issue(0, 0, 0x40, false);
+        a.on_issue(0, 0, 0x40, false, false);
         a.on_completion(8, 0);
-        a.on_issue(10, 1, 0x80, true);
+        a.on_issue(10, 1, 0x80, true, false);
         a.on_completion(30, 1);
         let log = a.finish();
         for p in Phase::all() {
@@ -675,9 +890,9 @@ mod tests {
     #[test]
     fn stall_lines_show_current_phase() {
         let mut a = TxAttribution::new(4);
-        a.on_issue(10, 2, 0x40, true);
-        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L2(3), 2, 1);
-        a.on_message(22, 30, MsgClass::MemRead, 0x40, Node::L2(3), 2, 1);
+        a.on_issue(10, 2, 0x40, true, false);
+        a.on_message(10, 20, MsgClass::Request, 0x40, Node::L1(2), Node::L2(3), 2, 1, false);
+        a.on_message(22, 30, MsgClass::MemRead, 0x40, Node::L2(3), Node::L2(3), 2, 1, false);
         let lines = a.stall_lines(500, 8);
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("tile 2"), "{}", lines[0]);
@@ -685,11 +900,91 @@ mod tests {
         assert!(lines[0].contains("(in memory)"), "{}", lines[0]);
     }
 
+    /// Two VMs on a 4-tile chip: every chip aggregate is the exact sum
+    /// of the two VM buckets, and dedup-backed misses classify as
+    /// cross-VM.
+    #[test]
+    fn vm_buckets_tile_chip_aggregates() {
+        let mut a = TxAttribution::with_vms(vec![0, 0, 1, 1], 2);
+        // VM 0, tile 0: private-block miss.
+        a.on_issue(0, 0, 0x40, false, false);
+        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L1(0), Node::L2(1), 2, 1, false);
+        a.on_message(12, 20, MsgClass::Data, 0x40, Node::L2(1), Node::L1(0), 2, 5, false);
+        a.on_completion(22, 0);
+        // VM 1, tile 2: dedup-backed miss.
+        a.on_issue(30, 2, 0x80, true, true);
+        a.on_message(30, 40, MsgClass::Request, 0x80, Node::L1(2), Node::L2(3), 1, 1, true);
+        a.on_message(42, 50, MsgClass::Data, 0x80, Node::L2(3), Node::L1(2), 1, 5, true);
+        a.on_completion(51, 2);
+        a.on_blocked(BlockReason::MshrConflict, 5, 3);
+        let log = a.finish();
+
+        assert_eq!(log.vm.len(), 2);
+        assert_eq!(log.vm.iter().map(|v| v.completed).sum::<u64>(), log.completed);
+        assert_eq!(log.vm.iter().map(|v| v.latency_cycles).sum::<u64>(), log.latency_cycles);
+        let mut phases = PhaseCycles::default();
+        let mut counts = EventCounts::default();
+        for v in &log.vm {
+            phases.merge(&v.phase_cycles);
+            counts.merge(&v.counts);
+        }
+        assert_eq!(phases, log.phase_cycles);
+        assert_eq!(counts, log.tx_counts);
+        assert_eq!(log.vm.iter().map(|v| v.mshr_wait_cycles).sum::<u64>(), log.mshr_wait_cycles);
+        assert_eq!(log.vm[0].intra_txs, 1);
+        assert_eq!(log.vm[0].cross_txs, 0);
+        assert_eq!(log.vm[1].cross_txs, 1, "dedup-backed miss is cross-VM");
+        assert_eq!(log.vm[1].mshr_wait_cycles, 5, "blocked wait charged to tile 3's VM");
+        // Tile counts split tx_counts spatially.
+        let mut tile_sum = EventCounts::default();
+        for t in &log.tile_counts {
+            tile_sum.merge(t);
+        }
+        assert_eq!(tile_sum, log.tx_counts);
+        assert_eq!(log.tile_counts[0].routing, 4);
+        assert_eq!(log.tile_counts[2].routing, 2);
+    }
+
+    /// Matrix cells charge aggressor (message's VM) -> victim (dest
+    /// tile's VM); stolen cycles charge the remote VM an inv span ended
+    /// in, as aggressor over the requestor VM.
+    #[test]
+    fn matrix_charges_aggressor_to_victim() {
+        let mut a = TxAttribution::with_vms(vec![0, 0, 1, 1], 2);
+        a.on_issue(0, 0, 0xC0, true, true);
+        a.on_message(0, 10, MsgClass::Request, 0xC0, Node::L1(0), Node::L2(1), 2, 1, true);
+        // Invalidation into VM 1's tile 2: 10..30 on the critical path.
+        a.on_message(10, 30, MsgClass::Inv, 0xC0, Node::L2(1), Node::L1(2), 3, 1, true);
+        a.on_message(30, 40, MsgClass::Data, 0xC0, Node::L2(1), Node::L1(0), 2, 5, true);
+        a.on_completion(42, 0);
+        let log = a.finish();
+
+        // Message accounting: VM 0's tx into VM 0 tiles (request + data)
+        // and into VM 1's tile (the inv).
+        assert_eq!(log.matrix_cell(0, 0).msgs, 2);
+        assert_eq!(log.matrix_cell(0, 1).msgs, 1);
+        assert_eq!(log.matrix_cell(0, 1).inv_msgs, 1);
+        assert_eq!(log.matrix_cell(0, 1).dedup_msgs, 1);
+        assert_eq!(log.matrix_cell(0, 1).routing, 3);
+        assert_eq!(log.matrix_cell(0, 1).flit_links, 3);
+        // The inv span's 20 cycles were stolen from VM 0 by VM 1.
+        assert_eq!(log.matrix_cell(1, 0).stolen_cycles, 20);
+        assert_eq!(log.vm[0].stolen_cycles, 20);
+        // Matrix routing sums to all attributed routing events.
+        let matrix_routing: u64 = log.matrix.iter().map(|c| c.routing).sum();
+        assert_eq!(matrix_routing, log.total_counts().routing);
+        // Untracked traffic still lands in a cell (src tile's VM).
+        a = TxAttribution::with_vms(vec![0, 0, 1, 1], 2);
+        a.on_message(5, 9, MsgClass::Control, 0x99, Node::L2(2), Node::L2(0), 2, 1, false);
+        let log = a.finish();
+        assert_eq!(log.matrix_cell(1, 0).msgs, 1);
+    }
+
     #[test]
     fn publish_exports_counters_and_hists() {
         let mut a = TxAttribution::new(2);
-        a.on_issue(0, 0, 0x40, false);
-        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L2(1), 3, 1);
+        a.on_issue(0, 0, 0x40, false, false);
+        a.on_message(0, 10, MsgClass::Request, 0x40, Node::L1(0), Node::L2(1), 3, 1, false);
         a.on_completion(12, 0);
         let log = a.finish();
         let mut reg = cmpsim_engine::MetricsRegistry::new();
@@ -699,6 +994,8 @@ mod tests {
         assert_eq!(counters["attr.reconciled"], 1);
         assert_eq!(counters["attr.phase.req_net.cycles"], 10);
         assert_eq!(counters["attr.events.tx.routing"], 3);
+        assert_eq!(counters["attr.vm.0.completed"], 1);
+        assert_eq!(counters["attr.vm.0.intra_txs"], 1);
         assert_eq!(reg.hists().count(), PHASES);
     }
 }

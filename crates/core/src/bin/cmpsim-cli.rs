@@ -7,6 +7,9 @@
 //! cmpsim-cli matrix [--refs N] [--alt] [...]    # all protocols x one benchmark set
 //! cmpsim-cli breakdown [run options]            # Fig. 7/8-style latency & energy
 //!                                               # attribution, all four protocols
+//! cmpsim-cli vmstat [run options]               # per-VM tables, cross-VM
+//!                                               # interference matrix, ASCII mesh
+//!                                               # heatmaps, all four protocols
 //! cmpsim-cli report [run options] [--all-benchmarks] [--out report.md]
 //!                                               # deterministic Markdown matrix
 //!                                               # report (run ledger + tables)
@@ -23,7 +26,7 @@
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
 //!
-//! Observability flags (run / stats / matrix / breakdown):
+//! Observability flags (run / stats / matrix / breakdown / vmstat):
 //!
 //! ```text
 //! --trace-out <file>      record the coherence-transaction trace and
@@ -34,6 +37,10 @@
 //! --attr                  per-transaction critical-path & energy attribution
 //! --breakdown-out <file>  write the attribution breakdown
 //!                         (.csv -> CSV, else JSON; implies --attr)
+//! --vmstat-out <file>     write per-VM stats + the cross-VM interference
+//!                         matrix as JSON (implies --attr)
+//! --heatmap-out <file>    write per-tile/per-link spatial counters
+//!                         (.csv -> long-format CSV, else JSON grids)
 //! --manifest-out <file>   write the run manifest (run ledger entry) alone
 //! --host-profile-out <f>  write the host self-profile JSON (wall-clock,
 //!                         nondeterministic; keyed by manifest run_id)
@@ -76,6 +83,7 @@ use cmpsim::report::{
     markdown_chaos_section, markdown_report, table,
 };
 use cmpsim::chaos::{chaos_sweep_with_progress, CellOutcome};
+use cmpsim::vmstat::{heatmap_csv, heatmap_json, vmstat_json, vmstat_tables};
 use cmpsim::{
     run_benchmark, run_matrix, run_matrix_with_progress, Benchmark, CmpSimulator, FaultPlan,
     MissClass, Placement, ProtocolKind, ReplayArtifact, RunResult, SimError, SystemConfig,
@@ -121,6 +129,8 @@ struct Options {
     metrics_out: Option<String>,
     attr: bool,
     breakdown_out: Option<String>,
+    vmstat_out: Option<String>,
+    heatmap_out: Option<String>,
     faults: Option<FaultPlan>,
     manifest_out: Option<String>,
     host_profile_out: Option<String>,
@@ -144,6 +154,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics_out: None,
         attr: false,
         breakdown_out: None,
+        vmstat_out: None,
+        heatmap_out: None,
         faults: None,
         manifest_out: None,
         host_profile_out: None,
@@ -202,6 +214,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--breakdown-out needs a file path")?;
                 o.breakdown_out = Some(v.clone());
             }
+            "--vmstat-out" => {
+                let v = it.next().ok_or("--vmstat-out needs a file path")?;
+                o.vmstat_out = Some(v.clone());
+            }
+            "--heatmap-out" => {
+                let v = it.next().ok_or("--heatmap-out needs a file path")?;
+                o.heatmap_out = Some(v.clone());
+            }
             "--manifest-out" => {
                 let v = it.next().ok_or("--manifest-out needs a file path")?;
                 o.manifest_out = Some(v.clone());
@@ -242,7 +262,7 @@ fn config(o: &Options) -> SystemConfig {
     if let Some(n) = o.interval {
         cfg = cfg.with_interval(n);
     }
-    if o.attr || o.breakdown_out.is_some() {
+    if o.attr || o.breakdown_out.is_some() || o.vmstat_out.is_some() {
         cfg = cfg.with_attribution();
     }
     // The CLI flag wins over the CMPSIM_FAULTS environment variable.
@@ -329,6 +349,29 @@ fn write_breakdown(path: &str, results: &[RunResult]) {
     write_file(path, &body, "breakdown");
 }
 
+/// Writes the combined per-VM statistics artifact (always JSON).
+fn write_vmstat(path: &str, results: &[RunResult]) {
+    write_file(path, &vmstat_json(results), "vmstat");
+}
+
+/// Writes the combined spatial-heatmap artifact (CSV or JSON by
+/// extension).
+fn write_heatmap(path: &str, results: &[RunResult]) {
+    let body = if path.ends_with(".csv") { heatmap_csv(results) } else { heatmap_json(results) };
+    write_file(path, &body, "heatmap");
+}
+
+/// Writes the sweep-level tenant/spatial artifacts the flags asked
+/// for (one combined file each, like the breakdown artifact).
+fn write_tenant_outputs(o: &Options, results: &[RunResult]) {
+    if let Some(p) = &o.vmstat_out {
+        write_vmstat(p, results);
+    }
+    if let Some(p) = &o.heatmap_out {
+        write_heatmap(p, results);
+    }
+}
+
 /// Prints the Fig. 7/8-style attribution summary for one result on
 /// stdout (used by `run`/`stats` when `--attr` is on).
 fn print_breakdown_summary(r: &RunResult) {
@@ -379,6 +422,7 @@ fn cmd_run(o: &Options) {
     if let Some(p) = &o.breakdown_out {
         write_breakdown(p, std::slice::from_ref(&r));
     }
+    write_tenant_outputs(o, std::slice::from_ref(&r));
     write_outputs(o, &r, None);
 }
 
@@ -399,6 +443,7 @@ fn cmd_stats(o: &Options) {
     if let Some(p) = &o.breakdown_out {
         write_breakdown(p, std::slice::from_ref(&r));
     }
+    write_tenant_outputs(o, std::slice::from_ref(&r));
     write_outputs(o, &r, None);
 }
 
@@ -442,6 +487,7 @@ fn cmd_matrix(o: &Options) {
     if let Some(p) = &o.breakdown_out {
         write_breakdown(p, &results);
     }
+    write_tenant_outputs(o, &results);
     for r in &results {
         let tag = r.protocol.name().to_lowercase();
         write_outputs(o, r, Some(&tag));
@@ -488,6 +534,30 @@ fn cmd_breakdown(o: &Options) {
     }
 }
 
+/// `vmstat`: runs all four protocols with attribution on and prints
+/// the tenant view — per-VM latency/energy tables, the cross-VM
+/// interference matrix, and ASCII mesh heatmaps of the per-tile
+/// counters. `--vmstat-out`/`--heatmap-out` export the same data as
+/// manifest-stamped JSON/CSV artifacts.
+fn cmd_vmstat(o: &Options) {
+    let cfg = config(o).with_attribution();
+    let results =
+        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
+    println!(
+        "tenant observability: {}{} at {} refs/core, seed {}",
+        o.benchmark.name(),
+        cfg.placement.suffix(),
+        cfg.refs_per_core,
+        cfg.seed
+    );
+    println!();
+    print!("{}", vmstat_tables(&results));
+    write_tenant_outputs(o, &results);
+    for r in &results {
+        eprintln!("{}: {}", r.protocol.name(), r.host.throughput_line());
+    }
+}
+
 /// `report`: one deterministic Markdown report over a matrix run — the
 /// run ledger, the paper-style tables, Fig. 7/8 breakdowns, interval
 /// summaries and fault counts. Attribution is always enabled so the
@@ -513,8 +583,7 @@ fn cmd_report(o: &Options) {
 }
 
 /// `compare`: structural diff of two runs/matrices, or (`--baseline`)
-/// the host-throughput regression gate that replaces
-/// `scripts/check_bench_regression.py`. Exits nonzero when the
+/// the host-throughput regression gate. Exits nonzero when the
 /// comparison fails, writing a machine-readable JSON diff with
 /// `--out`.
 fn cmd_compare(args: &[String]) {
@@ -891,7 +960,7 @@ fn main() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: cmpsim-cli <run|stats|matrix|breakdown|report|compare|tables|replay|chaos|list> [options]"
+                "usage: cmpsim-cli <run|stats|matrix|breakdown|vmstat|report|compare|tables|replay|chaos|list> [options]"
             );
             std::process::exit(2);
         }
@@ -924,12 +993,14 @@ fn main() {
                 }
             }
         }
-        "run" | "matrix" | "stats" | "breakdown" | "report" => match parse_options(rest) {
+        "run" | "matrix" | "stats" | "breakdown" | "report" | "vmstat" => match parse_options(rest)
+        {
             Ok(o) => match cmd {
                 "run" => cmd_run(&o),
                 "stats" => cmd_stats(&o),
                 "breakdown" => cmd_breakdown(&o),
                 "report" => cmd_report(&o),
+                "vmstat" => cmd_vmstat(&o),
                 _ => cmd_matrix(&o),
             },
             Err(e) => {
@@ -939,7 +1010,7 @@ fn main() {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try run, stats, matrix, breakdown, report, compare, tables, replay, chaos, list"
+                "unknown command {other}; try run, stats, matrix, breakdown, vmstat, report, compare, tables, replay, chaos, list"
             );
             std::process::exit(2);
         }

@@ -16,10 +16,10 @@
 //! inputs must give same outputs, so this is never a performance
 //! regression but a bug (or a corrupted artifact).
 //!
-//! The `baseline` mode ports `scripts/check_bench_regression.py`: it
-//! compares host-side events/s from the criterion-shim artifact against
-//! a checked-in baseline with a regression threshold, because wall
-//! clock — unlike everything above — is legitimately noisy.
+//! The `baseline` mode compares host-side events/s from the
+//! criterion-shim artifact against a checked-in baseline with a
+//! regression threshold, because wall clock — unlike everything above —
+//! is legitimately noisy.
 
 use crate::manifest::manifest_of;
 use crate::replay::Value;
@@ -200,6 +200,7 @@ fn lower_is_better(metric: &str) -> Option<bool> {
         || name == "sim.avg_finish"
         || name == "sim.fault_overhead_cycles"
         || name.starts_with("sim.vm_finish")
+        || (name.starts_with("vm.") && name.ends_with(".finish_cycles"))
         || name.starts_with("energy.")
         || name.starts_with("attr.energy.")
         || name.starts_with("attr.lat.")
@@ -484,8 +485,8 @@ impl BaselineReport {
     }
 }
 
-/// Port of `scripts/check_bench_regression.py`: events/s per benchmark
-/// id from `events / (min_ns / 1e9)`, failing any id more than
+/// Host-throughput regression gate: events/s per benchmark id from
+/// `events / (min_ns / 1e9)`, failing any id more than
 /// `threshold` below the baseline. Wall-clock throughput is the one
 /// legitimately noisy quantity in the pipeline, hence the generous
 /// default threshold (0.20) instead of exact matching.

@@ -33,6 +33,11 @@ pub struct CumSnapshot {
     pub contention: u64,
     /// Per-directed-link busy flit counts (`Mesh::link_busy`).
     pub link_busy: Vec<u64>,
+    /// Per-directed-link contention stall cycles
+    /// (`Mesh::link_contention`).
+    pub link_stall: Vec<u64>,
+    /// Per-tile L1 miss counts (measurement window).
+    pub tile_misses: Vec<u64>,
     /// Predictor lookups / hits (DiCo family).
     pub pred_lookups: u64,
     /// Predictor hits.
@@ -80,6 +85,14 @@ pub struct IntervalSample {
     pub link_util_mean: f64,
     /// Utilization of the busiest directed link.
     pub link_util_max: f64,
+    /// Flits the single busiest directed link carried in the interval
+    /// (numerator of [`Self::link_util_max`]).
+    pub hot_link_flits: u64,
+    /// Stall cycles on the single most contended directed link in the
+    /// interval.
+    pub hot_link_stall: u64,
+    /// L1 misses of the single hottest tile in the interval.
+    pub hot_tile_misses: u64,
     /// L1 fill fraction at the sample point.
     pub l1_occ: f64,
     /// L2 fill fraction at the sample point.
@@ -186,6 +199,15 @@ impl IntervalSampler {
             .collect();
         let total_busy: u64 = busy_dt.iter().sum();
         let max_busy = busy_dt.iter().copied().max().unwrap_or(0);
+        let delta_max = |now: &[u64], then: &[u64]| {
+            now.iter()
+                .zip(then.iter().chain(std::iter::repeat(&0)))
+                .map(|(n, t)| n.saturating_sub(*t))
+                .max()
+                .unwrap_or(0)
+        };
+        let hot_stall = delta_max(&cum.link_stall, &self.prev.link_stall);
+        let hot_misses = delta_max(&cum.tile_misses, &self.prev.tile_misses);
         self.samples.push(IntervalSample {
             start: self.window_start,
             end,
@@ -196,6 +218,9 @@ impl IntervalSampler {
             contention: cum.contention - self.prev.contention,
             link_util_mean: total_busy as f64 / (self.links as u64 * dur) as f64,
             link_util_max: max_busy as f64 / dur as f64,
+            hot_link_flits: max_busy,
+            hot_link_stall: hot_stall,
+            hot_tile_misses: hot_misses,
             l1_occ: occ.l1_frac(),
             l2_occ: occ.l2_frac(),
             aux_occ: occ.aux_frac(),
@@ -250,7 +275,8 @@ pub struct TimeSeries {
 /// CSV column headers, in emission order. The eight `phase_*` columns
 /// follow [`Phase::all`] order (attribution cycles; zero when off).
 const CSV_HEADER: &str = "start,end,cycles,refs,messages,hops,flit_links,contention_cycles,\
-link_util_mean,link_util_max,l1_occ,l2_occ,aux_occ,\
+link_util_mean,link_util_max,hot_link_flits,hot_link_stall,hot_tile_misses,\
+l1_occ,l2_occ,aux_occ,\
 pred_lookups,pred_hits,home_lookups,home_hits,\
 cache_dyn_nj,net_dyn_nj,static_nj,total_nj,\
 phase_req_net,phase_home,phase_owner_ind,phase_memory,\
@@ -265,7 +291,7 @@ impl TimeSeries {
         for s in &self.samples {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},\
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},\
                  {:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{}",
                 s.start,
                 s.end,
@@ -277,6 +303,9 @@ impl TimeSeries {
                 s.contention,
                 s.link_util_mean,
                 s.link_util_max,
+                s.hot_link_flits,
+                s.hot_link_stall,
+                s.hot_tile_misses,
                 s.l1_occ,
                 s.l2_occ,
                 s.aux_occ,
@@ -322,6 +351,9 @@ impl TimeSeries {
                 r.set("contention_cycles", Value::uint(s.contention));
                 r.set("link_util_mean", Value::float(s.link_util_mean));
                 r.set("link_util_max", Value::float(s.link_util_max));
+                r.set("hot_link_flits", Value::uint(s.hot_link_flits));
+                r.set("hot_link_stall", Value::uint(s.hot_link_stall));
+                r.set("hot_tile_misses", Value::uint(s.hot_tile_misses));
                 r.set("l1_occ", Value::float(s.l1_occ));
                 r.set("l2_occ", Value::float(s.l2_occ));
                 r.set("aux_occ", Value::float(s.aux_occ));
@@ -359,6 +391,8 @@ mod tests {
             hops,
             flit_links: hops * 3,
             contention: 0,
+            link_stall: busy.iter().map(|b| b / 4).collect(),
+            tile_misses: vec![refs, refs / 2],
             link_busy: busy,
             pred_lookups: refs / 10,
             pred_hits: refs / 20,
@@ -396,6 +430,14 @@ mod tests {
         // 40 busy flit-cycles per link over a 100-cycle interval.
         assert!((ts.samples[0].link_util_mean - 0.4).abs() < 1e-12);
         assert!((ts.samples[0].link_util_max - 0.4).abs() < 1e-12);
+        // Hot-spot columns are per-interval maxima of the spatial deltas
+        // (helper: stall = busy / 4, tile_misses = [refs, refs / 2]).
+        assert_eq!(ts.samples[0].hot_link_flits, 40);
+        assert_eq!(ts.samples[0].hot_link_stall, 10);
+        assert_eq!(ts.samples[0].hot_tile_misses, 40);
+        assert_eq!(ts.samples[1].hot_link_flits, 60);
+        assert_eq!(ts.samples[1].hot_link_stall, 15);
+        assert_eq!(ts.samples[1].hot_tile_misses, 60);
         // 200 mW x 4 tiles x 100 cycles = 80 nJ of leakage.
         assert!((ts.samples[0].static_nj - 80.0).abs() < 1e-9);
     }

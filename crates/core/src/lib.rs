@@ -74,6 +74,7 @@ pub mod report;
 pub mod result;
 pub mod sim;
 pub mod trace;
+pub mod vmstat;
 
 pub use attr::{BreakdownLog, TxAttribution};
 pub use chaos::{
@@ -87,9 +88,10 @@ pub use interval::{IntervalSample, IntervalSampler, TimeSeries};
 pub use manifest::RunManifest;
 pub use progress::ProgressSink;
 pub use replay::ReplayArtifact;
-pub use result::{ArchState, RunResult};
+pub use result::{ArchState, RunResult, SpatialLog};
 pub use sim::{build_protocol, run_benchmark, run_matrix, run_matrix_with_progress, CmpSimulator};
 pub use trace::{TraceLog, TxTracer};
+pub use vmstat::{ascii_heatmap, heatmap_csv, heatmap_json, vmstat_json, vmstat_tables};
 
 // Re-export the registry types so downstream binaries need not depend
 // on cmpsim-engine directly.

@@ -40,6 +40,8 @@ pub const ARTIFACT_SCHEMAS: &[(&str, &str)] = &[
     ("compare", "cmpsim-compare-v1"),
     ("progress", "cmpsim-progress-v1"),
     ("hostprofile", "cmpsim-hostprofile-v1"),
+    ("vmstat", "cmpsim-vmstat-v1"),
+    ("heatmap", "cmpsim-heatmap-v1"),
 ];
 
 /// Provenance record of one simulation run, embedded in every JSON

@@ -243,9 +243,10 @@ pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
 
 /// One deterministic Markdown report over a matrix run: the run
 /// ledger (per-cell manifests), the paper's throughput/energy table
-/// per benchmark, miss-class mix, Fig. 7/8 breakdowns when
-/// attribution ran, interval-series summaries when sampling ran, and
-/// fault-recovery counts when the matrix ran under fault injection.
+/// per benchmark, miss-class mix, Fig. 7/8 breakdowns plus the tenant
+/// (per-VM / cross-VM interference) breakdown when attribution ran,
+/// interval-series summaries when sampling ran, and fault-recovery
+/// counts when the matrix ran under fault injection.
 ///
 /// Only deterministic fields of the results are rendered — no host
 /// profile, no wall clock — so the report is byte-identical across
@@ -356,6 +357,7 @@ pub fn markdown_report(results: &[RunResult]) -> String {
             out.push_str("### Attributed dynamic energy (Fig. 8 style, uJ)\n\n```text\n");
             out.push_str(&breakdown_energy_table(&attributed));
             out.push_str("```\n\n");
+            out.push_str(&crate::vmstat::tenant_section(rs));
         }
 
         if rs.iter().any(|r| r.timeseries.is_some()) {

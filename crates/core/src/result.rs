@@ -29,6 +29,29 @@ pub struct ArchState {
     /// References retired over the whole run (warm-up included).
     pub refs_done: u64,
 }
+/// Spatial (per-tile, per-link) counters of the measured window — the
+/// raw grids behind the heatmap exports. Row-major tile order; links
+/// are indexed `tile * 4 + direction` (East, West, North, South), the
+/// mesh's directed-link layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpatialLog {
+    /// Mesh rows.
+    pub rows: u64,
+    /// Mesh columns.
+    pub cols: u64,
+    /// Flits each directed link carried.
+    pub link_flits: Vec<u64>,
+    /// Stall cycles each directed link charged (splits the chip-wide
+    /// `contention_cycles` counter).
+    pub link_contention: Vec<u64>,
+    /// L1 misses each tile opened.
+    pub tile_misses: Vec<u64>,
+    /// References each tile retired.
+    pub tile_refs: Vec<u64>,
+    /// The VM each tile's core belongs to.
+    pub vm_of: Vec<usize>,
+}
+
 use cmpsim_noc::NocStats;
 use cmpsim_power::{CacheEnergy, EnergyModel, NetworkEnergy};
 use cmpsim_protocols::{MissClass, ProtoStats, ProtocolKind};
@@ -73,6 +96,10 @@ pub struct RunResult {
     pub trace: Option<TraceLog>,
     /// Per-transaction latency/energy attribution, when enabled.
     pub breakdown: Option<BreakdownLog>,
+    /// Per-tile / per-link counters of the measured window (set by the
+    /// simulator after a completed run; `None` only for hand-assembled
+    /// results).
+    pub spatial: Option<SpatialLog>,
     /// Architectural end state (set by the simulator after a completed
     /// run; `None` only for hand-assembled results).
     pub arch: Option<ArchState>,
@@ -129,6 +156,7 @@ impl RunResult {
             timeseries: None,
             trace: None,
             breakdown: None,
+            spatial: None,
             arch: None,
             faults: None,
             effective_cycles: None,
@@ -149,6 +177,9 @@ impl RunResult {
         reg.set_gauge("sim.dedup_savings", self.dedup_savings);
         for (i, v) in self.vm_finish.iter().enumerate() {
             reg.set_gauge(&format!("sim.vm_finish.{i}"), *v);
+            // Tenant-facing alias: the per-VM namespace groups every
+            // per-tenant series under one prefix.
+            reg.set_gauge(&format!("vm.{i}.finish_cycles"), *v);
         }
         self.proto_stats.publish("proto", &mut reg);
         self.noc_stats.publish("noc", &mut reg);
@@ -344,6 +375,19 @@ mod tests {
         let total: f64 =
             MissClass::all().iter().map(|c| r.miss_class_frac(*c)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_publish_vm_finish_namespace() {
+        let reg = dummy().metrics();
+        let vm: Vec<(&str, f64)> = reg
+            .gauges()
+            .filter(|(n, _)| n.starts_with("vm.") && n.ends_with(".finish_cycles"))
+            .collect();
+        assert_eq!(vm.len(), 4);
+        assert!(vm.iter().all(|(_, v)| (*v - 900.0).abs() < 1e-9));
+        // The legacy sim.vm_finish.* series stays published alongside.
+        assert!(reg.gauges().any(|(n, _)| n == "sim.vm_finish.0"));
     }
 
     #[test]

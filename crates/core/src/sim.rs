@@ -9,7 +9,7 @@ use crate::error::{
 };
 use crate::interval::{CumSnapshot, IntervalSampler};
 use crate::replay::ReplayArtifact;
-use crate::result::{ArchState, RunResult};
+use crate::result::{ArchState, RunResult, SpatialLog};
 use crate::trace::TxTracer;
 use cmpsim_engine::par::par_map;
 use cmpsim_engine::rng::splitmix64;
@@ -27,7 +27,7 @@ use cmpsim_protocols::dico::DiCo;
 use cmpsim_protocols::directory::Directory;
 use cmpsim_protocols::providers::Providers;
 use cmpsim_protocols::{ProtoStats, ProtocolKind};
-use cmpsim_virt::mem::{LogicalPage, BLOCKS_PER_PAGE};
+use cmpsim_virt::mem::{LogicalPage, PageKind, BLOCKS_PER_PAGE};
 use cmpsim_virt::MachineMemory;
 use cmpsim_workloads::{Benchmark, CoreStream};
 use std::collections::BTreeMap;
@@ -162,6 +162,13 @@ fn cache_counts(ps: &ProtoStats) -> [u64; 7] {
     ]
 }
 
+/// True when `block` is backed by a deduplicated (inter-VM shared)
+/// page. Only consulted when attribution is on — a map lookup per
+/// observed message, never on the timing path.
+fn is_dedup_block(memory: &MachineMemory, block: Block) -> bool {
+    matches!(memory.kind_of_block(block), Some(PageKind::Deduplicated))
+}
+
 struct Core {
     stream: CoreStream,
     vm: usize,
@@ -221,6 +228,12 @@ pub struct CmpSimulator {
     /// Fault-injection engine and recovery bookkeeping (from
     /// `cfg.fault_plan`; `None` keeps every fault hook inert).
     faults: Option<FaultState>,
+    /// Per-tile L1 misses (spatial heatmap counter; zeroed with the
+    /// stats at the end of warm-up).
+    tile_misses: Vec<u64>,
+    /// Per-tile `refs_done` at the warm-up reset (the baseline the
+    /// spatial per-tile reference counts diff against).
+    tile_refs_base: Vec<u64>,
 }
 
 impl CmpSimulator {
@@ -254,7 +267,8 @@ impl CmpSimulator {
                     finished_at: None,
                 }
             })
-            .collect();
+            .collect::<Vec<Core>>();
+        let vm_of: Vec<usize> = cores.iter().map(|c| c.vm).collect();
         Self {
             proto: build_protocol(kind, cfg.chip.clone()),
             mesh: Mesh::new(cfg.noc),
@@ -277,10 +291,12 @@ impl CmpSimulator {
             refs_total: 0,
             checker: cfg.check_invariants.then(StepChecker::new),
             tracer: cfg.tracing.then(|| TxTracer::new(tiles, cfg.trace_capacity)),
-            attr: cfg.attribution.then(|| TxAttribution::new(tiles)),
+            attr: cfg.attribution.then(|| TxAttribution::with_vms(vm_of, cfg.num_vms)),
             sampler: None,
             energy_model: None,
             faults: cfg.fault_plan.clone().map(|p| FaultState::new(p, tiles)),
+            tile_misses: vec![0; tiles],
+            tile_refs_base: vec![0; tiles],
             cfg: cfg.clone(),
         }
     }
@@ -427,9 +443,11 @@ impl CmpSimulator {
                     d.arrival,
                     classify(&out.msg.kind, out.msg.src),
                     out.msg.block,
+                    out.msg.src,
                     out.msg.dst,
                     d.links,
                     flits,
+                    is_dedup_block(&self.memory, out.msg.block),
                 );
             }
             self.deliver(d.arrival, out.msg);
@@ -464,8 +482,10 @@ impl CmpSimulator {
                     classify(&b.kind, b.src),
                     b.block,
                     b.src,
+                    b.src,
                     bcast_links,
                     flits,
+                    is_dedup_block(&self.memory, b.block),
                 );
             }
             for (t, at) in arrivals {
@@ -517,9 +537,11 @@ impl CmpSimulator {
                     d.arrival,
                     class,
                     op.block,
+                    Node::L2(op.home),
                     Node::L2(ctrl_tile),
                     d.links,
                     flits,
+                    is_dedup_block(&self.memory, op.block),
                 );
             }
             let start = d.arrival.max(self.ctrl_free[ctrl]);
@@ -546,9 +568,11 @@ impl CmpSimulator {
                         back.arrival,
                         MsgClass::MemData,
                         op.block,
+                        Node::L2(ctrl_tile),
                         Node::L2(op.home),
                         back.links,
                         self.cfg.noc.data_flits,
+                        is_dedup_block(&self.memory, op.block),
                     );
                 }
                 self.deliver(
@@ -644,6 +668,7 @@ impl CmpSimulator {
             AccessOutcome::Miss => {
                 self.cores[tile].pending = None;
                 self.cores[tile].outstanding = true;
+                self.tile_misses[tile] += 1;
                 // Open the transaction before routing the request so
                 // its own messages (and this dispatch's cache probes)
                 // attribute to it.
@@ -651,7 +676,7 @@ impl CmpSimulator {
                     tr.on_issue(now, tile, block, write);
                 }
                 if let Some(a) = &mut self.attr {
-                    a.on_issue(now, tile, block, write);
+                    a.on_issue(now, tile, block, write, is_dedup_block(&self.memory, block));
                 }
                 if attr_on {
                     self.attr_record_cache_delta(block, attr_base);
@@ -669,7 +694,7 @@ impl CmpSimulator {
                 // accounted chip-wide by reason, outside the per-miss
                 // reconciliation window (the miss has not opened yet).
                 if let Some(a) = &mut self.attr {
-                    a.on_blocked(reason, 7);
+                    a.on_blocked(reason, 7, tile);
                 }
                 self.apply_ctx(now, &mut ctx);
                 self.queue.push(now + 7, Ev::CoreResume(tile));
@@ -919,6 +944,11 @@ impl CmpSimulator {
             if let Some(a) = &mut self.attr {
                 a.reset();
             }
+            // Spatial counters cover the measurement window only.
+            self.tile_misses.iter_mut().for_each(|m| *m = 0);
+            for (base, c) in self.tile_refs_base.iter_mut().zip(&self.cores) {
+                *base = c.refs_done;
+            }
             if let Some(interval) = self.cfg.sample_interval {
                 let tiles = self.cfg.tiles() as u64;
                 let areas = self.cfg.chip.num_areas() as u64;
@@ -952,6 +982,8 @@ impl CmpSimulator {
             flit_links: ns.flit_link_traversals.get(),
             contention: ns.contention_cycles.get(),
             link_busy: self.mesh.link_busy().to_vec(),
+            link_stall: self.mesh.link_contention().to_vec(),
+            tile_misses: self.tile_misses.clone(),
             pred_lookups: ps.pred_lookups.get(),
             pred_hits: ps.pred_hits.get(),
             home_lookups: ps.home_lookups.get(),
@@ -1110,6 +1142,20 @@ impl CmpSimulator {
         result.timeseries = timeseries;
         result.trace = trace;
         result.breakdown = self.attr.take().map(TxAttribution::finish);
+        result.spatial = Some(SpatialLog {
+            rows: self.cfg.noc.rows as u64,
+            cols: self.cfg.noc.cols as u64,
+            link_flits: self.mesh.link_busy().to_vec(),
+            link_contention: self.mesh.link_contention().to_vec(),
+            tile_misses: self.tile_misses.clone(),
+            tile_refs: self
+                .cores
+                .iter()
+                .zip(&self.tile_refs_base)
+                .map(|(c, &base)| c.refs_done - base)
+                .collect(),
+            vm_of: self.cores.iter().map(|c| c.vm).collect(),
+        });
         result.arch = Some(self.arch_state());
         result.faults = self.faults.as_ref().map(FaultState::context);
         result.manifest =
@@ -1329,6 +1375,36 @@ mod tests {
             assert_eq!(b.latency_cycles, r.proto_stats.miss_latency.sum(), "{kind:?}");
             assert_eq!(b.open_txs, 0, "{kind:?}: a drained run leaves no open tx");
         }
+    }
+
+    #[test]
+    fn spatial_counters_tile_chip_aggregates() {
+        let cfg = SystemConfig::smoke().with_attribution();
+        let r = run_benchmark(ProtocolKind::DiCo, Benchmark::Apache, &cfg).expect("run");
+        let s = r.spatial.as_ref().expect("spatial log always attached");
+        assert_eq!((s.rows * s.cols) as usize, s.tile_misses.len());
+        assert_eq!(
+            s.tile_misses.iter().sum::<u64>(),
+            r.proto_stats.l1_misses.get(),
+            "per-tile misses must sum to the chip L1 miss counter"
+        );
+        assert_eq!(
+            s.link_flits.iter().sum::<u64>(),
+            r.noc_stats.flit_link_traversals.get(),
+            "per-link flits must sum to the chip flit counter"
+        );
+        assert_eq!(
+            s.link_contention.iter().sum::<u64>(),
+            r.noc_stats.contention_cycles.get(),
+            "per-link stalls must sum to the chip contention counter"
+        );
+        assert_eq!(s.tile_refs.iter().sum::<u64>(), r.measured_refs);
+        // Per-VM attribution buckets tile the chip aggregates.
+        let b = r.breakdown.as_ref().expect("attribution on");
+        assert_eq!(b.vm.len(), cfg.num_vms);
+        assert_eq!(b.vm.iter().map(|v| v.completed).sum::<u64>(), b.completed);
+        assert_eq!(b.vm.iter().map(|v| v.latency_cycles).sum::<u64>(), b.latency_cycles);
+        assert!(b.vm.iter().any(|v| v.completed > 0), "some VM saw traffic");
     }
 
     #[test]

@@ -139,6 +139,10 @@ pub struct Mesh {
     /// interval sampler diffs this against an earlier snapshot to get
     /// per-link utilization over a window.
     link_busy: Vec<u64>,
+    /// `link_stall[tile * 4 + dir]`: cumulative contention cycles
+    /// charged on each directed link (the per-link split of
+    /// `NocStats::contention_cycles`). Feeds the spatial heatmaps.
+    link_stall: Vec<u64>,
     stats: NocStats,
 }
 
@@ -149,6 +153,7 @@ impl Mesh {
         Self {
             link_free: vec![0; cfg.tiles() * 4],
             link_busy: vec![0; cfg.tiles() * 4],
+            link_stall: vec![0; cfg.tiles() * 4],
             cfg,
             stats: NocStats::default(),
         }
@@ -170,6 +175,13 @@ impl Mesh {
         &self.link_busy
     }
 
+    /// Cumulative per-directed-link contention (stall) cycles, indexed
+    /// `tile * 4 + dir` like [`Mesh::link_busy`]. Sums exactly to
+    /// `stats().contention_cycles`.
+    pub fn link_contention(&self) -> &[u64] {
+        &self.link_stall
+    }
+
     /// Number of physical directed links in the mesh (border slots in
     /// [`Mesh::link_busy`] excluded) — the denominator for mean link
     /// utilization.
@@ -182,6 +194,7 @@ impl Mesh {
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
         self.link_busy.iter_mut().for_each(|b| *b = 0);
+        self.link_stall.iter_mut().for_each(|b| *b = 0);
     }
 
     fn xy(&self, tile: usize) -> (usize, usize) {
@@ -253,6 +266,7 @@ impl Mesh {
                 if t < self.link_free[li] {
                     let stall = self.link_free[li] - t;
                     self.stats.contention_cycles.add(stall);
+                    self.link_stall[li] += stall;
                     t = self.link_free[li];
                 }
                 // The link is serialized for the body flits behind the head.
@@ -335,7 +349,9 @@ impl Mesh {
         let mut t = depart + self.cfg.hop_cycles();
         if self.cfg.model_contention {
             if t < self.link_free[li] {
-                self.stats.contention_cycles.add(self.link_free[li] - t);
+                let stall = self.link_free[li] - t;
+                self.stats.contention_cycles.add(stall);
+                self.link_stall[li] += stall;
                 t = self.link_free[li];
             }
             self.link_free[li] = t + flits.saturating_sub(1);
@@ -510,6 +526,25 @@ mod tests {
         assert_eq!(m.link_busy().iter().sum::<u64>(), 73);
         m.reset_stats();
         assert_eq!(m.link_busy().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn link_stall_splits_contention_cycles() {
+        let mut m = mesh();
+        // Serialize several data packets over the same link, plus a
+        // contended broadcast, then check the per-link split ties out.
+        for _ in 0..4 {
+            m.send(0, 0, 1, 5);
+        }
+        m.broadcast(0, 0, 5);
+        assert!(m.stats().contention_cycles.get() > 0);
+        assert_eq!(
+            m.link_contention().iter().sum::<u64>(),
+            m.stats().contention_cycles.get(),
+            "per-link stalls must sum to the aggregate contention counter"
+        );
+        m.reset_stats();
+        assert_eq!(m.link_contention().iter().sum::<u64>(), 0);
     }
 
     #[test]

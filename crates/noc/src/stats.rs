@@ -53,15 +53,19 @@ pub struct NocStats {
 impl NocStats {
     /// Merges another stats block (used when aggregating runs).
     pub fn merge(&mut self, o: &NocStats) {
-        self.messages.add(o.messages.get());
-        self.broadcasts.add(o.broadcasts.get());
-        self.local_deliveries.add(o.local_deliveries.get());
-        self.routing_events.add(o.routing_events.get());
-        self.flit_link_traversals.add(o.flit_link_traversals.get());
-        self.contention_cycles.add(o.contention_cycles.get());
-        self.links_per_message.merge(&o.links_per_message);
-        self.message_latency.merge(&o.message_latency);
-        self.broadcast_latency.merge(&o.broadcast_latency);
+        cmpsim_engine::merge_fields!(
+            self,
+            o,
+            messages,
+            broadcasts,
+            local_deliveries,
+            routing_events,
+            flit_link_traversals,
+            contention_cycles,
+            links_per_message,
+            message_latency,
+            broadcast_latency,
+        );
     }
 }
 

@@ -19,9 +19,7 @@ mkdir -p "$CMPSIM_BENCH_DIR"
 
 cargo bench -p cmpsim-bench --bench events_per_sec
 
-# The gate is `cmpsim-cli compare --baseline` (the Rust port of
-# scripts/check_bench_regression.py, which stays in-tree as a
-# deprecated fallback for environments without the release binary).
+# The gate is `cmpsim-cli compare --baseline`.
 cargo build --release -p cmpsim --bin cmpsim-cli
 target/release/cmpsim-cli compare --baseline \
     "$CMPSIM_BENCH_DIR/BENCH_events_per_sec.json" \
