@@ -9,7 +9,9 @@
 //! checked-in `reports/bench_baseline.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cmpsim::{run_benchmark, Benchmark, ProtocolKind, SystemConfig};
+use cmpsim::{
+    run_benchmark, run_benchmark_with_store, Benchmark, ProtocolKind, SnapshotStore, SystemConfig,
+};
 use std::hint::black_box;
 
 fn bench_events_per_sec(c: &mut Criterion) {
@@ -29,5 +31,39 @@ fn bench_events_per_sec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_events_per_sec);
+/// The snapshot/fork path: the same run as `small_apache_4k_refs`, but
+/// every timed iteration forks from a warmed in-memory checkpoint and
+/// simulates the measure phase only. The gap between the two groups is
+/// the warm-up cost the snapshot engine amortizes across a sweep; a
+/// regression here means forking stopped paying for itself.
+fn bench_matrix_warm_fork(c: &mut Criterion) {
+    let mut cfg = SystemConfig::small();
+    cfg.refs_per_core = 4_000;
+    let mut g = c.benchmark_group("matrix_warm_fork");
+    g.sample_size(20);
+    for kind in ProtocolKind::all() {
+        let store = SnapshotStore::in_memory();
+        // The first run warms up and captures; every timed iteration
+        // below restores from that image.
+        let cold = run_benchmark_with_store(kind, Benchmark::Apache, &cfg, Some(&store))
+            .expect("populating run");
+        assert_eq!(store.cached(), 1, "capture failed; the bench would time cold runs");
+        let warm = run_benchmark_with_store(kind, Benchmark::Apache, &cfg, Some(&store))
+            .expect("warm run");
+        assert_eq!(cold.cycles, warm.cycles, "forked run diverged from its parent");
+        println!("EVENTS matrix_warm_fork/{} {}", kind.name(), warm.host.events);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                black_box(
+                    run_benchmark_with_store(kind, Benchmark::Apache, &cfg, Some(&store))
+                        .expect("run")
+                        .cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_events_per_sec, bench_matrix_warm_fork);
 criterion_main!(benches);

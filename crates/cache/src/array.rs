@@ -202,6 +202,39 @@ impl<T> SetAssoc<T> {
     }
 }
 
+impl<T: cmpsim_engine::Snap> cmpsim_engine::Snap for Line<T> {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        self.block.save(w);
+        self.data.save(w);
+        self.lru.save(w);
+    }
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        Ok(Self {
+            block: cmpsim_engine::Snap::load(r)?,
+            data: cmpsim_engine::Snap::load(r)?,
+            lru: cmpsim_engine::Snap::load(r)?,
+        })
+    }
+}
+
+// In-set line order is behaviourally significant (iteration order,
+// `swap_remove` victim mechanics), so sets serialize as plain vectors
+// preserving it, along with every LRU stamp and the stamp clock.
+impl<T: cmpsim_engine::Snap> cmpsim_engine::Snap for SetAssoc<T> {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        self.geom.save(w);
+        self.sets.save(w);
+        self.clock.save(w);
+    }
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        Ok(Self {
+            geom: cmpsim_engine::Snap::load(r)?,
+            sets: cmpsim_engine::Snap::load(r)?,
+            clock: cmpsim_engine::Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

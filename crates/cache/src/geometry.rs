@@ -62,6 +62,8 @@ impl Geometry {
     }
 }
 
+cmpsim_engine::impl_snap!(Geometry { sets, ways, index_shift });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,19 @@ impl<E> Mshr<E> {
     }
 }
 
+impl<E: cmpsim_engine::Snap> cmpsim_engine::Snap for Mshr<E> {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        self.entries.save(w);
+        self.capacity.save(w);
+    }
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        Ok(Self {
+            entries: cmpsim_engine::Snap::load(r)?,
+            capacity: cmpsim_engine::Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,8 @@ impl TileGrid {
     }
 }
 
+cmpsim_engine::impl_snap!(TileGrid { rows, cols, cells });
+
 #[cfg(test)]
 mod tests {
     use super::*;

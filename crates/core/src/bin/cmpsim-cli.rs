@@ -18,11 +18,14 @@
 //!                                               # structural run diff / CI
 //!                                               # regression gate (nonzero exit)
 //! cmpsim-cli tables                             # Tables V, VI, VII (analytic)
-//! cmpsim-cli replay <artifact.json> [--check]   # re-run a crash dump
+//! cmpsim-cli replay <artifact.json> [--check] [--snapshot-dir D]
+//!                                               # re-run a crash dump (resumes
+//!                                               # from the warmed checkpoint
+//!                                               # when one is on disk)
 //! cmpsim-cli chaos [--plans N] [--mode M] [--seed S] [--refs N]
 //!                  [--small] [--alt] [-p P] [-b B] [--progress-out F]
-//!                  [--json-out F] [--report-out F]
-//!                                               # seeded fault-injection soak
+//!                  [--json-out F] [--report-out F] [--threads N]
+//!                  [--snapshot-dir D]           # seeded fault-injection soak
 //! cmpsim-cli list                               # protocols & benchmarks
 //! ```
 //!
@@ -41,6 +44,15 @@
 //!                         matrix as JSON (implies --attr)
 //! --heatmap-out <file>    write per-tile/per-link spatial counters
 //!                         (.csv -> long-format CSV, else JSON grids)
+//! --threads <n>           worker threads for sweeps (default: one per host
+//!                         core; the CMPSIM_THREADS environment variable sets
+//!                         the default)
+//! --snapshot-dir <dir>    cache warmed-state checkpoints: the first run of a
+//!                         configuration snapshots at the warm-up boundary,
+//!                         every later run sharing its key forks from the
+//!                         image and skips warm-up entirely (results stay
+//!                         bit-identical; observer runs — --trace-out,
+//!                         --check, --attr — always run cold)
 //! --manifest-out <file>   write the run manifest (run ledger entry) alone
 //! --host-profile-out <f>  write the host self-profile JSON (wall-clock,
 //!                         nondeterministic; keyed by manifest run_id)
@@ -82,11 +94,13 @@ use cmpsim::report::{
     breakdown_csv, breakdown_energy_table, breakdown_json, breakdown_latency_table,
     markdown_chaos_section, markdown_report, table,
 };
-use cmpsim::chaos::{chaos_sweep_with_progress, CellOutcome};
+use cmpsim::chaos::{chaos_sweep_with_options, CellOutcome};
+use cmpsim::snapshot::key_hex;
 use cmpsim::vmstat::{heatmap_csv, heatmap_json, vmstat_json, vmstat_tables};
 use cmpsim::{
-    run_benchmark, run_matrix, run_matrix_with_progress, Benchmark, CmpSimulator, FaultPlan,
-    MissClass, Placement, ProtocolKind, ReplayArtifact, RunResult, SimError, SystemConfig,
+    run_benchmark_with_store, run_matrix_with_options, snapshot_eligible, snapshot_key, Benchmark,
+    CmpSimulator, FaultPlan, MissClass, Placement, ProtocolKind, ReplayArtifact, RunResult,
+    SimError, SnapshotStore, SystemConfig,
 };
 use cmpsim_power::{leakage_per_tile, overhead_percent};
 use std::path::Path;
@@ -137,6 +151,38 @@ struct Options {
     progress_out: Option<String>,
     out: Option<String>,
     all_benchmarks: bool,
+    threads: Option<usize>,
+    snapshot_dir: Option<String>,
+}
+
+/// Worker-thread default from `CMPSIM_THREADS` (`None` when unset;
+/// `--threads` overrides it).
+fn env_threads() -> Result<Option<usize>, String> {
+    match std::env::var("CMPSIM_THREADS") {
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!("bad CMPSIM_THREADS value {v:?} (want an integer >= 1)")),
+        },
+        _ => Ok(None),
+    }
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad thread count {v} (want an integer >= 1)")),
+    }
+}
+
+/// Opens the disk-backed snapshot store when `--snapshot-dir` was
+/// given. An unusable directory is fatal: the user asked for reuse.
+fn snapshot_store(dir: Option<&str>) -> Option<SnapshotStore> {
+    dir.map(|d| {
+        SnapshotStore::with_dir(d).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    })
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -162,6 +208,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         progress_out: None,
         out: None,
         all_benchmarks: false,
+        threads: env_threads()?,
+        snapshot_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -239,6 +287,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.out = Some(v.clone());
             }
             "--all-benchmarks" => o.all_benchmarks = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                o.threads = Some(parse_threads(v)?);
+            }
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a directory path")?;
+                o.snapshot_dir = Some(v.clone());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -397,10 +453,18 @@ fn cmd_run(o: &Options) {
     // build the sink when asked so the default stderr output is
     // unchanged.
     let sink = o.progress_out.as_deref().map(|p| progress_sink("run", 1, Some(p)));
-    let r = run_matrix_with_progress(&[o.protocol], &[o.benchmark], &config(o), sink.as_ref())
-        .unwrap_or_else(|e| bail(e))
-        .pop()
-        .expect("one cell");
+    let store = snapshot_store(o.snapshot_dir.as_deref());
+    let r = run_matrix_with_options(
+        &[o.protocol],
+        &[o.benchmark],
+        &config(o),
+        sink.as_ref(),
+        o.threads,
+        store.as_ref(),
+    )
+    .unwrap_or_else(|e| bail(e))
+    .pop()
+    .expect("one cell");
     println!("{} on {}{}", r.protocol.name(), r.benchmark.name(), r.placement.suffix());
     println!("  cycles            {:>12}", r.cycles);
     println!("  throughput        {:>12.4} refs/cycle", r.throughput());
@@ -429,7 +493,9 @@ fn cmd_run(o: &Options) {
 /// `stats`: one run, then the full metrics registry, one line per
 /// metric (hierarchical names, sorted).
 fn cmd_stats(o: &Options) {
-    let r = run_benchmark(o.protocol, o.benchmark, &config(o)).unwrap_or_else(|e| bail(e));
+    let store = snapshot_store(o.snapshot_dir.as_deref());
+    let r = run_benchmark_with_store(o.protocol, o.benchmark, &config(o), store.as_ref())
+        .unwrap_or_else(|e| bail(e));
     println!(
         "{} on {}{} ({} refs/core, seed {})",
         r.protocol.name(),
@@ -460,8 +526,16 @@ fn cmd_matrix(o: &Options) {
     let cfg = config(o);
     let protocols = ProtocolKind::all();
     let sink = progress_sink("matrix", protocols.len(), o.progress_out.as_deref());
-    let results = run_matrix_with_progress(&protocols, &[o.benchmark], &cfg, Some(&sink))
-        .unwrap_or_else(|e| bail(e));
+    let store = snapshot_store(o.snapshot_dir.as_deref());
+    let results = run_matrix_with_options(
+        &protocols,
+        &[o.benchmark],
+        &cfg,
+        Some(&sink),
+        o.threads,
+        store.as_ref(),
+    )
+    .unwrap_or_else(|e| bail(e));
     let base = &results[0];
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -500,7 +574,8 @@ fn cmd_matrix(o: &Options) {
 fn cmd_breakdown(o: &Options) {
     let cfg = config(o).with_attribution();
     let results =
-        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
+        run_matrix_with_options(&ProtocolKind::all(), &[o.benchmark], &cfg, None, o.threads, None)
+            .unwrap_or_else(|e| bail(e));
     println!(
         "critical-path & energy attribution: {}{} at {} refs/core, seed {}",
         o.benchmark.name(),
@@ -542,7 +617,8 @@ fn cmd_breakdown(o: &Options) {
 fn cmd_vmstat(o: &Options) {
     let cfg = config(o).with_attribution();
     let results =
-        run_matrix(&ProtocolKind::all(), &[o.benchmark], &cfg).unwrap_or_else(|e| bail(e));
+        run_matrix_with_options(&ProtocolKind::all(), &[o.benchmark], &cfg, None, o.threads, None)
+            .unwrap_or_else(|e| bail(e));
     println!(
         "tenant observability: {}{} at {} refs/core, seed {}",
         o.benchmark.name(),
@@ -570,8 +646,15 @@ fn cmd_report(o: &Options) {
     let protocols = ProtocolKind::all();
     let sink =
         progress_sink("report", protocols.len() * benchmarks.len(), o.progress_out.as_deref());
-    let results = run_matrix_with_progress(&protocols, &benchmarks, &cfg, Some(&sink))
-        .unwrap_or_else(|e| bail(e));
+    let results = run_matrix_with_options(
+        &protocols,
+        &benchmarks,
+        &cfg,
+        Some(&sink),
+        o.threads,
+        snapshot_store(o.snapshot_dir.as_deref()).as_ref(),
+    )
+    .unwrap_or_else(|e| bail(e));
     let md = markdown_report(&results);
     match &o.out {
         Some(p) => write_file(p, &md, "report"),
@@ -711,7 +794,48 @@ fn cmd_tables() {
     println!("{}", table(&["protocol", "total", "tags"], &rows));
 }
 
-fn cmd_replay(path: &str, check: bool) {
+/// Tries to resume a replay from a warmed checkpoint on disk instead
+/// of re-simulating the warm-up. Falls back to a cold replay (with a
+/// stderr note) on any miss or unusable image — a replay must never
+/// fail because its cache did.
+fn replay_checkpoint(dir: &str, art: &ReplayArtifact) -> Option<CmpSimulator> {
+    if !snapshot_eligible(&art.config) {
+        return None;
+    }
+    let store = match SnapshotStore::with_dir(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warning: snapshot store unavailable, replaying cold: {e}");
+            return None;
+        }
+    };
+    let key = snapshot_key(art.protocol, art.benchmark, &art.config);
+    match store.get(key) {
+        Ok(Some(image)) => {
+            match CmpSimulator::restore_snapshot(art.protocol, art.benchmark, &art.config, &image)
+            {
+                Ok(sim) => {
+                    println!(
+                        "resuming from checkpoint {} in {dir} (warm-up skipped)",
+                        key_hex(key)
+                    );
+                    Some(sim)
+                }
+                Err(e) => {
+                    eprintln!("warning: checkpoint {} unusable, replaying cold: {e}", key_hex(key));
+                    None
+                }
+            }
+        }
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("warning: {e}; replaying cold");
+            None
+        }
+    }
+}
+
+fn cmd_replay(path: &str, check: bool, snapshot_dir: Option<&str>) {
     let art = ReplayArtifact::load(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -724,12 +848,21 @@ fn cmd_replay(path: &str, check: bool) {
         art.error_kind,
         art.failing_cycle
     );
-    let mut sim = CmpSimulator::new(art.protocol, art.benchmark, &art.config);
-    if check {
-        sim.enable_invariant_checker();
-        println!("invariant checker force-enabled for this replay");
-    }
-    match sim.run() {
+    // `--check` changes the simulation (the checker observes every
+    // event), so a checked replay always runs cold from cycle zero.
+    let warmed = if check { None } else { snapshot_dir.and_then(|d| replay_checkpoint(d, &art)) };
+    let outcome = match warmed {
+        Some(sim) => sim.resume(),
+        None => {
+            let mut sim = CmpSimulator::new(art.protocol, art.benchmark, &art.config);
+            if check {
+                sim.enable_invariant_checker();
+                println!("invariant checker force-enabled for this replay");
+            }
+            sim.run()
+        }
+    };
+    match outcome {
         Ok(r) => {
             println!(
                 "run completed cleanly ({} refs in {} cycles) — the failure did NOT reproduce",
@@ -776,11 +909,13 @@ fn cmd_chaos(args: &[String]) {
     let mut progress_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
     let mut it = args.iter();
     let bad = |e: String| -> ! {
         eprintln!("error: {e}");
         std::process::exit(2);
     };
+    let mut threads = env_threads().unwrap_or_else(|e| bad(e));
     while let Some(a) = it.next() {
         match a.as_str() {
             "--plans" => {
@@ -828,6 +963,16 @@ fn cmd_chaos(args: &[String]) {
                 let v = it.next().unwrap_or_else(|| bad("--report-out needs a file path".into()));
                 report_out = Some(v.clone());
             }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| bad("--threads needs a count".into()));
+                threads = Some(parse_threads(v).unwrap_or_else(|e| bad(e)));
+            }
+            "--snapshot-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| bad("--snapshot-dir needs a directory path".into()));
+                snapshot_dir = Some(v.clone());
+            }
             other => bad(format!("unknown chaos option {other}")),
         }
     }
@@ -862,7 +1007,16 @@ fn cmd_chaos(args: &[String]) {
         plans.len() * protocols.len() * benchmarks.len(),
         progress_out.as_deref(),
     );
-    let report = chaos_sweep_with_progress(&protocols, &benchmarks, &plans, &cfg, Some(&sink));
+    let store = snapshot_store(snapshot_dir.as_deref());
+    let report = chaos_sweep_with_options(
+        &protocols,
+        &benchmarks,
+        &plans,
+        &cfg,
+        Some(&sink),
+        threads,
+        store.as_ref(),
+    );
     if let Some(p) = &json_out {
         write_file(p, &report.to_json(), "chaos report");
     }
@@ -973,9 +1127,18 @@ fn main() {
         "replay" => {
             let mut file = None;
             let mut check = false;
-            for a in rest {
+            let mut snapshot_dir: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
                 match a.as_str() {
                     "--check" => check = true,
+                    "--snapshot-dir" => match it.next() {
+                        Some(v) => snapshot_dir = Some(v.clone()),
+                        None => {
+                            eprintln!("--snapshot-dir needs a directory path");
+                            std::process::exit(2);
+                        }
+                    },
                     other if file.is_none() && !other.starts_with('-') => {
                         file = Some(other.to_string())
                     }
@@ -986,9 +1149,11 @@ fn main() {
                 }
             }
             match file {
-                Some(f) => cmd_replay(&f, check),
+                Some(f) => cmd_replay(&f, check, snapshot_dir.as_deref()),
                 None => {
-                    eprintln!("usage: cmpsim-cli replay <artifact.json> [--check]");
+                    eprintln!(
+                        "usage: cmpsim-cli replay <artifact.json> [--check] [--snapshot-dir D]"
+                    );
                     std::process::exit(2);
                 }
             }

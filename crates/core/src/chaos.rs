@@ -19,18 +19,19 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 
-use cmpsim_engine::par::par_map;
+use cmpsim_engine::par::{num_threads, par_map_with_threads};
 use cmpsim_engine::{Cycle, FaultPlan};
 use cmpsim_protocols::ProtocolKind;
 use cmpsim_workloads::Benchmark;
 
 use crate::config::SystemConfig;
 use crate::error::SimError;
+use crate::sim::run_benchmark_with_store;
+use crate::snapshot::SnapshotStore;
 use crate::manifest::RunManifest;
 use crate::progress::ProgressSink;
 use crate::replay::Value;
 use crate::result::RunResult;
-use crate::sim::run_benchmark;
 
 /// Outcome of a single differential run ([`run_differential`]).
 #[derive(Debug)]
@@ -251,14 +252,14 @@ pub fn run_differential(
 ) -> DiffOutcome {
     let mut golden_cfg = cfg.clone();
     golden_cfg.fault_plan = None;
-    let golden = match run_caught(kind, benchmark, &golden_cfg) {
+    let golden = match run_caught(kind, benchmark, &golden_cfg, None) {
         Ok(Ok(r)) => r,
         Ok(Err(e)) => return DiffOutcome::Faulted(Box::new(e)),
         Err(msg) => {
             return DiffOutcome::Panicked { message: format!("golden run panicked: {msg}") }
         }
     };
-    judge(kind, benchmark, cfg, &golden)
+    judge(kind, benchmark, cfg, &golden, None)
 }
 
 /// Judges the faulty leg of one cell against an already-computed golden
@@ -268,8 +269,9 @@ fn judge(
     benchmark: Benchmark,
     cfg: &SystemConfig,
     golden: &RunResult,
+    store: Option<&SnapshotStore>,
 ) -> DiffOutcome {
-    match run_caught(kind, benchmark, cfg) {
+    match run_caught(kind, benchmark, cfg, store) {
         Ok(Ok(mut faulty)) => match describe_divergence(golden, &faulty) {
             None => {
                 faulty.effective_cycles = Some(golden.cycles);
@@ -305,26 +307,47 @@ pub fn chaos_sweep_with_progress(
     cfg: &SystemConfig,
     progress: Option<&ProgressSink>,
 ) -> ChaosReport {
+    chaos_sweep_with_options(protocols, benchmarks, plans, cfg, progress, None, None)
+}
+
+/// [`chaos_sweep_with_progress`] plus the sweep-level knobs: an
+/// explicit worker-thread count (`None` = one per host core) and a
+/// shared [`SnapshotStore`]. The fault plan is part of the snapshot key
+/// (faults fire during warm-up too), so golden and per-plan legs never
+/// share an image within one sweep — the wins come from repeated cells
+/// and, with a disk-backed store, from re-running a sweep after the
+/// images were captured.
+pub fn chaos_sweep_with_options(
+    protocols: &[ProtocolKind],
+    benchmarks: &[Benchmark],
+    plans: &[FaultPlan],
+    cfg: &SystemConfig,
+    progress: Option<&ProgressSink>,
+    threads: Option<usize>,
+    store: Option<&SnapshotStore>,
+) -> ChaosReport {
+    let threads = threads.unwrap_or_else(num_threads);
     let mut golden_cfg = cfg.clone();
     golden_cfg.fault_plan = None;
     let pairs: Vec<(ProtocolKind, Benchmark)> = benchmarks
         .iter()
         .flat_map(|&b| protocols.iter().map(move |&p| (p, b)))
         .collect();
-    let goldens = par_map(&pairs, |&(p, b)| run_caught(p, b, &golden_cfg));
+    let goldens =
+        par_map_with_threads(&pairs, threads, |&(p, b)| run_caught(p, b, &golden_cfg, store));
 
     let jobs: Vec<(usize, usize)> = plans
         .iter()
         .enumerate()
         .flat_map(|(pi, _)| (0..pairs.len()).map(move |ci| (pi, ci)))
         .collect();
-    let outcomes = par_map(&jobs, |&(pi, ci)| {
+    let outcomes = par_map_with_threads(&jobs, threads, |&(pi, ci)| {
         let (proto, bench) = pairs[ci];
         let cell_cfg = cfg.clone().with_fault_plan(Some(plans[pi].clone()));
         let mut host = (0u64, 0.0f64);
         let outcome = match &goldens[ci] {
             Ok(Ok(golden)) => {
-                let diff = judge(proto, bench, &cell_cfg, golden);
+                let diff = judge(proto, bench, &cell_cfg, golden, store);
                 if let DiffOutcome::Verified(r) = &diff {
                     host = (r.host.events, r.host.events_per_sec());
                 }
@@ -409,8 +432,12 @@ fn run_caught(
     kind: ProtocolKind,
     benchmark: Benchmark,
     cfg: &SystemConfig,
+    store: Option<&SnapshotStore>,
 ) -> Result<Result<RunResult, SimError>, String> {
-    panic::catch_unwind(AssertUnwindSafe(|| run_benchmark(kind, benchmark, cfg))).map_err(|p| {
+    panic::catch_unwind(AssertUnwindSafe(|| {
+        run_benchmark_with_store(kind, benchmark, cfg, store)
+    }))
+    .map_err(|p| {
         p.downcast_ref::<&str>()
             .map(|s| s.to_string())
             .or_else(|| p.downcast_ref::<String>().cloned())

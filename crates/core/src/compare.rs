@@ -495,7 +495,10 @@ pub fn compare_baseline(
     baseline: &Value,
     threshold: f64,
 ) -> Result<BaselineReport, String> {
-    let results = |doc: &Value, what: &str| -> Result<Vec<(String, f64, f64)>, String> {
+    // The bench artifact carries only timings; the deterministic event
+    // counts live in the baseline, so `events` is required there and
+    // ignored on the current side.
+    let results = |doc: &Value, what: &str, want_events: bool| -> Result<Vec<(String, f64, f64)>, String> {
         let Value::Arr(items) = doc.field("results")? else {
             return Err(format!("{what}: \"results\" is not an array"));
         };
@@ -504,20 +507,20 @@ pub fn compare_baseline(
             .map(|r| {
                 Ok((
                     r.field("id")?.as_str()?.to_string(),
-                    r.field("events")?.as_f64()?,
+                    if want_events { r.field("events")?.as_f64()? } else { 0.0 },
                     r.field("min_ns")?.as_f64()?,
                 ))
             })
             .collect()
     };
-    let cur: std::collections::BTreeMap<String, (f64, f64)> = results(current, "current")?
+    let cur: std::collections::BTreeMap<String, f64> = results(current, "current", false)?
         .into_iter()
-        .map(|(id, ev, ns)| (id, (ev, ns)))
+        .map(|(id, _, ns)| (id, ns))
         .collect();
 
     let mut report = BaselineReport::default();
-    for (id, base_events, base_ns) in results(baseline, "baseline")? {
-        let Some(&(_, cur_ns)) = cur.get(&id) else {
+    for (id, base_events, base_ns) in results(baseline, "baseline", true)? {
+        let Some(&cur_ns) = cur.get(&id) else {
             report.failures.push(format!("{id}: missing from current artifact"));
             report.diffs.push(MetricDiff {
                 file: None,

@@ -224,6 +224,10 @@ pub enum SimError {
     /// An injected fault could not be recovered: a request exhausted
     /// its retransmission budget.
     Fault(Box<FaultAbort>),
+    /// The snapshot subsystem failed: unreadable snapshot directory, or
+    /// a corrupted / version-mismatched image. Snapshots fail closed —
+    /// a bad image is reported, never silently re-simulated around.
+    Snapshot(Box<crate::snapshot::SnapshotError>),
 }
 
 impl SimError {
@@ -234,6 +238,7 @@ impl SimError {
             SimError::InvariantViolation(r) => r.cycle,
             SimError::Protocol(r) => r.cycle,
             SimError::Fault(r) => r.cycle,
+            SimError::Snapshot(_) => 0,
         }
     }
 
@@ -244,6 +249,7 @@ impl SimError {
             SimError::InvariantViolation(r) => r.events,
             SimError::Protocol(r) => r.events,
             SimError::Fault(r) => r.events,
+            SimError::Snapshot(_) => 0,
         }
     }
 
@@ -254,6 +260,7 @@ impl SimError {
             SimError::InvariantViolation(_) => "invariant-violation",
             SimError::Protocol(_) => "protocol-fault",
             SimError::Fault(_) => "fault-unrecoverable",
+            SimError::Snapshot(_) => "snapshot",
         }
     }
 
@@ -267,6 +274,7 @@ impl SimError {
             SimError::InvariantViolation(_) => "E-INVARIANT",
             SimError::Protocol(_) => "E-PROTOCOL",
             SimError::Fault(_) => "E-FAULT",
+            SimError::Snapshot(_) => "E-SNAPSHOT",
         }
     }
 
@@ -276,7 +284,9 @@ impl SimError {
         match self {
             SimError::Stalled(r) => r.fault.as_ref(),
             SimError::Fault(r) => Some(&r.fault),
-            SimError::InvariantViolation(_) | SimError::Protocol(_) => None,
+            SimError::InvariantViolation(_) | SimError::Protocol(_) | SimError::Snapshot(_) => {
+                None
+            }
         }
     }
 
@@ -287,6 +297,7 @@ impl SimError {
             SimError::InvariantViolation(r) => r.artifact.as_deref(),
             SimError::Protocol(r) => r.artifact.as_deref(),
             SimError::Fault(r) => r.artifact.as_deref(),
+            SimError::Snapshot(r) => r.artifact.as_deref(),
         }
     }
 
@@ -297,6 +308,7 @@ impl SimError {
             SimError::InvariantViolation(r) => r.artifact = Some(path),
             SimError::Protocol(r) => r.artifact = Some(path),
             SimError::Fault(r) => r.artifact = Some(path),
+            SimError::Snapshot(r) => r.artifact = Some(path),
         }
     }
 }
@@ -416,7 +428,20 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::Snapshot(r) => {
+                writeln!(f, "{r}")?;
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
         }
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for SimError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        SimError::Snapshot(Box::new(e))
     }
 }
 

@@ -74,7 +74,7 @@ pub struct RunManifest {
 
 /// FNV-1a over `bytes` folded into `h`, with a splitmix64 finalizer so
 /// single-bit input changes diffuse through all 64 output bits.
-fn digest(bytes: &[u8]) -> u64 {
+pub(crate) fn digest(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
@@ -83,7 +83,7 @@ fn digest(bytes: &[u8]) -> u64 {
     splitmix64(&mut state)
 }
 
-fn hex16(h: u64) -> String {
+pub(crate) fn hex16(h: u64) -> String {
     format!("{h:016x}")
 }
 

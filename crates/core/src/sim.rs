@@ -11,11 +11,12 @@ use crate::interval::{CumSnapshot, IntervalSampler};
 use crate::replay::ReplayArtifact;
 use crate::result::{ArchState, RunResult, SpatialLog};
 use crate::trace::TxTracer;
-use cmpsim_engine::par::par_map;
+use crate::snapshot::{self, SnapshotError, SnapshotStore};
+use cmpsim_engine::par::{num_threads, par_map_with_threads};
 use cmpsim_engine::rng::splitmix64;
 use cmpsim_engine::{
     Cycle, EventCounts, EventQueue, FaultDecision, FaultEngine, FaultPlan, FxHashMap, FxHashSet,
-    HostProfiler, SimRng,
+    HostProfiler, SimRng, Snap, SnapError, SnapReader, SnapWriter,
 };
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
@@ -42,7 +43,7 @@ pub fn build_protocol(kind: ProtocolKind, spec: ChipSpec) -> Box<dyn CoherencePr
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     /// The core of a tile wants to make progress.
     CoreResume(Tile),
@@ -59,6 +60,52 @@ enum Ev {
         /// Miss generation the timeout was armed for.
         generation: u64,
     },
+}
+
+impl Snap for Ev {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::CoreResume(tile) => {
+                w.u8(0);
+                tile.save(w);
+            }
+            Ev::Deliver(msg, seq) => {
+                w.u8(1);
+                msg.save(w);
+                seq.save(w);
+            }
+            Ev::ReqTimeout { tile, generation } => {
+                w.u8(2);
+                tile.save(w);
+                generation.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Ev::CoreResume(Snap::load(r)?)),
+            1 => {
+                let msg = Snap::load(r)?;
+                let seq = Snap::load(r)?;
+                Ok(Ev::Deliver(msg, seq))
+            }
+            2 => {
+                let tile = Snap::load(r)?;
+                let generation = Snap::load(r)?;
+                Ok(Ev::ReqTimeout { tile, generation })
+            }
+            tag => Err(SnapError::BadTag { what: "Ev", tag }),
+        }
+    }
+}
+
+/// How a [`CmpSimulator::run_phase`] event loop ended.
+enum PhaseExit {
+    /// The event queue drained (the run is complete).
+    Drained,
+    /// The warm-up window closed (the snapshot boundary; only with
+    /// `stop_at_warm`).
+    Warmed,
 }
 
 /// The first hop of a miss transaction: the requestor L1's own request
@@ -96,6 +143,7 @@ fn payload_class(kind: &MsgKind) -> bool {
 }
 
 /// Retransmission state for one tile's open miss.
+#[derive(Clone)]
 struct RetryInfo {
     block: Block,
     msg: Msg,
@@ -103,12 +151,15 @@ struct RetryInfo {
     generation: u64,
 }
 
+cmpsim_engine::impl_snap!(RetryInfo { block, msg, attempts, generation });
+
 /// Driver-side fault state: the engine (plan + RNG + outage schedule),
 /// the per-tile open-request registry feeding timeouts and
 /// retransmissions, and the receiver-side duplicate filter. Exists only
 /// when [`SystemConfig::fault_plan`] is set; with it `None` every hook
 /// below is a single branch and the simulation is bit-identical to a
 /// build without fault injection.
+#[derive(Clone)]
 struct FaultState {
     engine: FaultEngine,
     /// Per-tile open tracked request: block and its sequence number.
@@ -147,6 +198,15 @@ impl FaultState {
     }
 }
 
+cmpsim_engine::impl_snap!(FaultState {
+    engine,
+    open_reqs,
+    retry,
+    seen,
+    generation,
+    violation,
+});
+
 /// The cache-structure counters attribution charges per dispatch, in
 /// [`EventCounts`] field order (the two network counters are charged
 /// per message instead).
@@ -169,6 +229,7 @@ fn is_dedup_block(memory: &MachineMemory, block: Block) -> bool {
     matches!(memory.kind_of_block(block), Some(PageKind::Deduplicated))
 }
 
+#[derive(Clone)]
 struct Core {
     stream: CoreStream,
     vm: usize,
@@ -949,25 +1010,36 @@ impl CmpSimulator {
             for (base, c) in self.tile_refs_base.iter_mut().zip(&self.cores) {
                 *base = c.refs_done;
             }
-            if let Some(interval) = self.cfg.sample_interval {
-                let tiles = self.cfg.tiles() as u64;
-                let areas = self.cfg.chip.num_areas() as u64;
-                let leak = cmpsim_power::leakage_per_tile(self.proto.kind(), tiles, areas);
-                self.energy_model =
-                    Some(cmpsim_power::EnergyModel::new(self.proto.kind(), tiles, areas));
-                // The proto/NoC stats were just reset, but the per-core
-                // ref counters were not — snapshot after the resets so
-                // interval deltas cover the measurement window only.
-                let base = self.cum_snapshot();
-                self.sampler = Some(IntervalSampler::new(
-                    interval,
-                    now,
-                    base,
-                    leak.total_mw,
-                    tiles,
-                    self.mesh.directed_links(),
-                ));
-            }
+            self.build_sampler(now);
+        }
+    }
+
+    /// Builds the interval sampler and its energy model at the warm-up
+    /// boundary (`now` = the cycle the window closed). Also called when
+    /// a snapshot is restored or forked: the snapshot is captured at
+    /// exactly this boundary — stats freshly reset, zero samples taken
+    /// — so rebuilding here reproduces the cold-run sampler state
+    /// bit-for-bit, and a sampling run can share snapshots with a
+    /// non-sampling one.
+    fn build_sampler(&mut self, now: Cycle) {
+        if let Some(interval) = self.cfg.sample_interval {
+            let tiles = self.cfg.tiles() as u64;
+            let areas = self.cfg.chip.num_areas() as u64;
+            let leak = cmpsim_power::leakage_per_tile(self.proto.kind(), tiles, areas);
+            self.energy_model =
+                Some(cmpsim_power::EnergyModel::new(self.proto.kind(), tiles, areas));
+            // The proto/NoC stats were just reset, but the per-core
+            // ref counters were not — snapshot after the resets so
+            // interval deltas cover the measurement window only.
+            let base = self.cum_snapshot();
+            self.sampler = Some(IntervalSampler::new(
+                interval,
+                now,
+                base,
+                leak.total_mw,
+                tiles,
+                self.mesh.directed_links(),
+            ));
         }
     }
 
@@ -1014,22 +1086,27 @@ impl CmpSimulator {
         }
     }
 
-    /// Runs to completion and returns the measured results.
+    /// Seeds the initial per-tile core wakeups of a fresh run.
+    fn seed_initial_events(&mut self) {
+        for t in 0..self.cores.len() {
+            self.queue.push(0, Ev::CoreResume(t));
+        }
+    }
+
+    /// Drives the event loop until the queue drains, or — with
+    /// `stop_at_warm` — until the warm-up window closes (the snapshot
+    /// boundary). The per-event body is identical either way, so a run
+    /// split at the boundary is bit-for-bit the same as an
+    /// uninterrupted one.
     ///
-    /// The event loop is watched for forward progress: exceeding the
+    /// The loop is watched for forward progress: exceeding the
     /// [`SystemConfig::event_budget`], going a full `stall_window`
     /// without any core retiring a reference, or draining the queue
     /// with unfinished cores all abort into [`SimError::Stalled`] with
     /// a structured dump instead of spinning or panicking.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
-        let mut prof = HostProfiler::new();
-        let tiles = self.cores.len();
-        for t in 0..tiles {
-            self.queue.push(0, Ev::CoreResume(t));
-        }
+    fn run_phase(&mut self, stop_at_warm: bool) -> Result<PhaseExit, SimError> {
         let budget = self.cfg.event_budget();
         let stall_window = self.cfg.stall_window;
-        let loop_start = std::time::Instant::now();
         while let Some((now, ev)) = self.queue.pop() {
             self.events += 1;
             if self.events > budget {
@@ -1093,8 +1170,59 @@ impl CmpSimulator {
             }
             self.maybe_finish_warmup(now);
             self.maybe_sample(now);
+            if stop_at_warm && self.warmed_up {
+                return Ok(PhaseExit::Warmed);
+            }
         }
-        prof.record("event_loop", loop_start.elapsed().as_nanos() as u64);
+        Ok(PhaseExit::Drained)
+    }
+
+    /// Runs to completion and returns the measured results.
+    ///
+    /// Equivalent to [`Self::warm_up`] followed by [`Self::resume`],
+    /// with the two phases reported as separate `warmup` / `measure`
+    /// spans in the host profile.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut prof = HostProfiler::new();
+        self.seed_initial_events();
+        let t = std::time::Instant::now();
+        let exit = self.run_phase(true);
+        prof.record("warmup", t.elapsed().as_nanos() as u64);
+        exit?;
+        self.run_measure(prof)
+    }
+
+    /// Runs a fresh simulator up to the warm-up boundary — the snapshot
+    /// point. Returns `true` when the boundary was reached, `false`
+    /// when the queue drained first (a run whose warm-up window covers
+    /// every reference). Call at most once, on a newly built simulator;
+    /// follow with [`Self::save_snapshot`], [`Self::fork`], or
+    /// [`Self::resume`].
+    pub fn warm_up(&mut self) -> Result<bool, SimError> {
+        self.seed_initial_events();
+        Ok(matches!(self.run_phase(true)?, PhaseExit::Warmed))
+    }
+
+    /// Completes a simulation from its current state: a warmed
+    /// simulator ([`Self::warm_up`]), a restored snapshot
+    /// ([`Self::restore_snapshot`]), or a fork ([`Self::fork`]).
+    pub fn resume(self) -> Result<RunResult, SimError> {
+        self.run_measure(HostProfiler::new())
+    }
+
+    /// Measurement phase + finalization, with the loop reported as the
+    /// `measure` host-profile span.
+    fn run_measure(mut self, mut prof: HostProfiler) -> Result<RunResult, SimError> {
+        let t = std::time::Instant::now();
+        let exit = self.run_phase(false);
+        prof.record("measure", t.elapsed().as_nanos() as u64);
+        exit?;
+        self.finalize(prof)
+    }
+
+    /// Collects the measured results after the event queue drained.
+    fn finalize(mut self, mut prof: HostProfiler) -> Result<RunResult, SimError> {
+        let tiles = self.cores.len();
         // The queue drained; anything left unfinished means a message or
         // wakeup was lost (no event remains that could ever revive it).
         let now = self.queue.now();
@@ -1164,6 +1292,245 @@ impl CmpSimulator {
         result.host = prof.finish(self.events, result.cycles);
         Ok(result)
     }
+
+    /// Stable wire tag for the protocol, embedded in snapshot payloads
+    /// so an image decoded under the wrong protocol fails closed.
+    fn proto_tag(kind: ProtocolKind) -> u8 {
+        match kind {
+            ProtocolKind::Directory => 0,
+            ProtocolKind::DiCo => 1,
+            ProtocolKind::DiCoProviders => 2,
+            ProtocolKind::DiCoArin => 3,
+        }
+    }
+
+    /// Serialises the complete machine state into a versioned snapshot
+    /// image: protocol (caches, MSHRs, directory and every in-flight
+    /// transaction), NoC link state, the calendar event queue, core and
+    /// workload cursors, hypervisor memory, RNG streams, fault-plan
+    /// cursors, and the warm-up bookkeeping. `key` must come from
+    /// [`snapshot::snapshot_key`] for the same (protocol, benchmark,
+    /// config) triple — restore validates it.
+    ///
+    /// Only valid on observer-free simulators (the [`snapshot_eligible`]
+    /// precondition): the tracer, invariant checker and attribution
+    /// accumulate pre-warm-up history that is deliberately not part of
+    /// the image.
+    pub fn save_snapshot(&self, key: u64) -> Vec<u8> {
+        debug_assert!(
+            self.checker.is_none() && self.tracer.is_none() && self.attr.is_none(),
+            "snapshots are only taken from observer-free simulators"
+        );
+        let mut w = SnapWriter::with_capacity(1 << 16);
+        w.u8(Self::proto_tag(self.proto.kind()));
+        self.proto.save_state(&mut w);
+        self.mesh.save(&mut w);
+        w.u64(self.queue.now());
+        self.queue.snapshot_events().save(&mut w);
+        w.len_prefix(self.cores.len());
+        for c in &self.cores {
+            // The VM leads its core record: decoding needs it to pick
+            // the workload profile the stream cursor belongs to.
+            c.vm.save(&mut w);
+            c.stream.snap_save(&mut w);
+            c.pending.save(&mut w);
+            c.outstanding.save(&mut w);
+            c.refs_done.save(&mut w);
+            c.finished_at.save(&mut w);
+        }
+        self.memory.save(&mut w);
+        self.rng.save(&mut w);
+        self.fifo.save(&mut w);
+        self.ctrl_free.save(&mut w);
+        self.warmed_up.save(&mut w);
+        self.measure_start.save(&mut w);
+        self.refs_at_reset.save(&mut w);
+        self.events.save(&mut w);
+        self.last_progress.save(&mut w);
+        self.refs_total.save(&mut w);
+        self.faults.save(&mut w);
+        self.tile_misses.save(&mut w);
+        self.tile_refs_base.save(&mut w);
+        let payload = w.into_bytes();
+        // Header + payload + trailing payload digest: flipping any
+        // payload byte is detected before decoding starts.
+        let mut out = SnapWriter::with_capacity(payload.len() + 32);
+        snapshot::write_header(&mut out, key);
+        out.raw(&payload);
+        out.u64(crate::manifest::digest(&payload));
+        out.into_bytes()
+    }
+
+    /// Rebuilds a simulator from a snapshot image taken by
+    /// [`Self::save_snapshot`] under the same (protocol, benchmark,
+    /// config) triple. Resuming it is bit-for-bit identical to the
+    /// uninterrupted run. Every defect — wrong key, foreign version,
+    /// truncation, corruption — surfaces as a typed
+    /// [`SimError::Snapshot`]; this function never panics on bad input.
+    pub fn restore_snapshot(
+        kind: ProtocolKind,
+        benchmark: Benchmark,
+        cfg: &SystemConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SimError> {
+        let key = snapshot::snapshot_key(kind, benchmark, cfg);
+        let mut r = snapshot::read_header(bytes, key)?;
+        let rem = r.remaining();
+        if rem < 8 {
+            return Err(SnapshotError::new("truncated: no payload digest").into());
+        }
+        let payload = r.raw(rem - 8).expect("sized above");
+        let sum = r.u64().expect("sized above");
+        r.finish().map_err(|e| SnapshotError::from_snap("image", e))?;
+        if crate::manifest::digest(payload) != sum {
+            return Err(SnapshotError::new("payload digest mismatch: image is corrupted").into());
+        }
+        let mut pr = SnapReader::new(payload);
+        let mut sim = Self::decode_payload(kind, benchmark, cfg, &mut pr)
+            .map_err(|e| SnapshotError::from_snap("payload", e))?;
+        pr.finish().map_err(|e| SnapshotError::from_snap("payload", e))?;
+        if sim.warmed_up {
+            sim.build_sampler(sim.measure_start);
+        }
+        Ok(sim)
+    }
+
+    fn decode_payload(
+        kind: ProtocolKind,
+        benchmark: Benchmark,
+        cfg: &SystemConfig,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        let mut sim = Self::new(kind, benchmark, cfg);
+        let tag = r.u8()?;
+        if tag != Self::proto_tag(kind) {
+            return Err(SnapError::BadTag { what: "snapshot protocol", tag });
+        }
+        sim.proto.load_state(r)?;
+        sim.mesh = Snap::load(r)?;
+        let queue_now = r.u64()?;
+        let events: Vec<(Cycle, Ev)> = Snap::load(r)?;
+        sim.queue = EventQueue::from_snapshot(queue_now, events);
+        let n = r.len_prefix("snapshot cores", 8)?;
+        if n != sim.cores.len() {
+            return Err(SnapError::Corrupt("core count does not match configuration"));
+        }
+        for c in sim.cores.iter_mut() {
+            let vm: usize = Snap::load(r)?;
+            if vm != c.vm {
+                return Err(SnapError::Corrupt("core VM assignment does not match configuration"));
+            }
+            let profile = benchmark.profile_for_vm(vm, cfg.num_vms);
+            c.stream = CoreStream::snap_load(profile, r)?;
+            c.pending = Snap::load(r)?;
+            c.outstanding = Snap::load(r)?;
+            c.refs_done = Snap::load(r)?;
+            c.finished_at = Snap::load(r)?;
+        }
+        sim.memory = Snap::load(r)?;
+        sim.rng = Snap::load(r)?;
+        sim.fifo = Snap::load(r)?;
+        sim.ctrl_free = Snap::load(r)?;
+        sim.warmed_up = Snap::load(r)?;
+        sim.measure_start = Snap::load(r)?;
+        sim.refs_at_reset = Snap::load(r)?;
+        sim.events = Snap::load(r)?;
+        sim.last_progress = Snap::load(r)?;
+        sim.refs_total = Snap::load(r)?;
+        sim.faults = Snap::load(r)?;
+        sim.tile_misses = Snap::load(r)?;
+        sim.tile_refs_base = Snap::load(r)?;
+        Ok(sim)
+    }
+
+    /// Cheap in-memory fork: duplicates the full machine state so many
+    /// measurement legs can branch from one warmed simulator without
+    /// serialising anything. Only valid on observer-free simulators
+    /// (the [`snapshot_eligible`] precondition), and meant to be taken
+    /// at the warm-up boundary — the fork's interval sampler is rebuilt
+    /// there, exactly like a snapshot restore.
+    pub fn fork(&self) -> Self {
+        assert!(
+            self.checker.is_none() && self.tracer.is_none() && self.attr.is_none(),
+            "fork is only valid on observer-free simulators"
+        );
+        let mut f = Self {
+            cfg: self.cfg.clone(),
+            proto: self.proto.clone(),
+            mesh: self.mesh.clone(),
+            queue: self.queue.clone(),
+            cores: self.cores.clone(),
+            memory: self.memory.clone(),
+            benchmark: self.benchmark,
+            rng: self.rng.clone(),
+            fifo: self.fifo.clone(),
+            ctx_pool: Ctx::default(),
+            trace_block: self.trace_block,
+            ctrl_free: self.ctrl_free.clone(),
+            warmed_up: self.warmed_up,
+            measure_start: self.measure_start,
+            refs_at_reset: self.refs_at_reset,
+            events: self.events,
+            last_progress: self.last_progress,
+            refs_total: self.refs_total,
+            checker: None,
+            tracer: None,
+            attr: None,
+            sampler: None,
+            energy_model: None,
+            faults: self.faults.clone(),
+            tile_misses: self.tile_misses.clone(),
+            tile_refs_base: self.tile_refs_base.clone(),
+        };
+        if f.warmed_up {
+            f.build_sampler(f.measure_start);
+        }
+        f
+    }
+}
+
+/// True when runs under `cfg` may take and share warm-state snapshots:
+/// the accumulating observers (tracer, invariant checker, attribution)
+/// hold pre-warm-up history a restored run would lack, so runs using
+/// them always execute cold. Interval sampling is fine — the sampler is
+/// created at the warm-up boundary, exactly where snapshots restore.
+pub fn snapshot_eligible(cfg: &SystemConfig) -> bool {
+    !cfg.tracing && !cfg.check_invariants && !cfg.attribution
+}
+
+/// One cell through the snapshot store: restore the warmed state when
+/// an image for this key exists, otherwise simulate the warm-up phase,
+/// capture it for every later run sharing the key, and continue with
+/// the same simulator (capturing costs one serialisation, never a
+/// second warm-up). Snapshot spans (`snapshot.save` /
+/// `snapshot.restore`) land in the host profile next to `warmup` and
+/// `measure`.
+fn run_via_store(
+    kind: ProtocolKind,
+    benchmark: Benchmark,
+    cfg: &SystemConfig,
+    store: &SnapshotStore,
+) -> Result<RunResult, SimError> {
+    let key = snapshot::snapshot_key(kind, benchmark, cfg);
+    let mut prof = HostProfiler::new();
+    if let Some(bytes) = store.get(key)? {
+        let t = std::time::Instant::now();
+        let sim = CmpSimulator::restore_snapshot(kind, benchmark, cfg, &bytes)?;
+        prof.record("snapshot.restore", t.elapsed().as_nanos() as u64);
+        return sim.run_measure(prof);
+    }
+    let mut sim = CmpSimulator::new(kind, benchmark, cfg);
+    sim.seed_initial_events();
+    let t = std::time::Instant::now();
+    let exit = sim.run_phase(true);
+    prof.record("warmup", t.elapsed().as_nanos() as u64);
+    if matches!(exit?, PhaseExit::Warmed) {
+        let t = std::time::Instant::now();
+        let bytes = sim.save_snapshot(key);
+        prof.record("snapshot.save", t.elapsed().as_nanos() as u64);
+        store.put(key, bytes)?;
+    }
+    sim.run_measure(prof)
 }
 
 /// Runs one protocol on one benchmark. On failure, a replay artifact
@@ -1176,7 +1543,24 @@ pub fn run_benchmark(
     benchmark: Benchmark,
     cfg: &SystemConfig,
 ) -> Result<RunResult, SimError> {
-    CmpSimulator::new(kind, benchmark, cfg).run().map_err(|mut e| {
+    run_benchmark_with_store(kind, benchmark, cfg, None)
+}
+
+/// [`run_benchmark`] with an optional [`SnapshotStore`]: eligible runs
+/// (see [`snapshot_eligible`]) restore their warm-up phase from the
+/// store when a matching image exists and contribute one when none
+/// does. Ineligible runs execute cold, unchanged.
+pub fn run_benchmark_with_store(
+    kind: ProtocolKind,
+    benchmark: Benchmark,
+    cfg: &SystemConfig,
+    store: Option<&SnapshotStore>,
+) -> Result<RunResult, SimError> {
+    let result = match store.filter(|_| snapshot_eligible(cfg)) {
+        Some(store) => run_via_store(kind, benchmark, cfg, store),
+        None => CmpSimulator::new(kind, benchmark, cfg).run(),
+    };
+    result.map_err(|mut e| {
         let artifact = ReplayArtifact::new(
             kind,
             benchmark,
@@ -1214,12 +1598,29 @@ pub fn run_matrix_with_progress(
     cfg: &SystemConfig,
     progress: Option<&crate::progress::ProgressSink>,
 ) -> Result<Vec<RunResult>, SimError> {
+    run_matrix_with_options(protocols, benchmarks, cfg, progress, None, None)
+}
+
+/// [`run_matrix_with_progress`] plus the sweep-level knobs: an explicit
+/// worker-thread count (`None` = one per host core) and a shared
+/// [`SnapshotStore`]. With a store, all cells sharing a snapshot key
+/// warm up once; the rest fork from the captured image — and with a
+/// disk-backed store the warm-up survives across invocations.
+pub fn run_matrix_with_options(
+    protocols: &[ProtocolKind],
+    benchmarks: &[Benchmark],
+    cfg: &SystemConfig,
+    progress: Option<&crate::progress::ProgressSink>,
+    threads: Option<usize>,
+    store: Option<&SnapshotStore>,
+) -> Result<Vec<RunResult>, SimError> {
     let jobs: Vec<(ProtocolKind, Benchmark)> = benchmarks
         .iter()
         .flat_map(|&b| protocols.iter().map(move |&p| (p, b)))
         .collect();
-    let out = par_map(&jobs, |&(p, b)| {
-        let r = run_benchmark(p, b, cfg);
+    let threads = threads.unwrap_or_else(num_threads);
+    let out = par_map_with_threads(&jobs, threads, |&(p, b)| {
+        let r = run_benchmark_with_store(p, b, cfg, store);
         if let Some(sink) = progress {
             let cell = format!("{}/{}", p.name(), b.name());
             match &r {

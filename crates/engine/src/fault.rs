@@ -344,6 +344,28 @@ impl FaultEngine {
     }
 }
 
+crate::impl_snap!(FaultPlan {
+    seed,
+    chaos,
+    delay_rate,
+    delay_max,
+    duplicate_rate,
+    drop_rate,
+    max_drops,
+    reorder_rate,
+    outages,
+    outage_len,
+    outage_horizon,
+    timeout,
+    retry_cap,
+});
+
+crate::impl_snap!(FaultStats { delays, reorders, duplicates, drops, outage_hits });
+
+crate::impl_snap!(Outage { tile, start, end });
+
+crate::impl_snap!(FaultEngine { plan, rng, outages, drops_left, stats, next_seq });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,9 @@
 //! * [`debug_log`] — the shared sink behind the ad-hoc block-trace
 //!   prints: one consistent `[cycle] message` line shape, capturable
 //!   in tests instead of hard-wired to stderr.
+//! * [`snap`] — the dependency-free binary codec behind deterministic
+//!   full-state snapshots (little-endian fixed layouts, sorted hash
+//!   containers, typed decode errors — a corrupt snapshot fails closed).
 //! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
 //!   used to run independent simulations (protocol × workload sweeps) on
 //!   all host cores.
@@ -53,6 +56,7 @@ pub mod phase;
 pub mod profile;
 pub mod rng;
 pub mod smallvec;
+pub mod snap;
 pub mod stats;
 pub mod trace;
 
@@ -64,4 +68,5 @@ pub use phase::{EventCounts, Phase, PhaseCycles};
 pub use profile::{HostProfile, HostProfiler};
 pub use rng::SimRng;
 pub use smallvec::SmallVec;
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use trace::{TraceEvent, TraceRing};

@@ -161,6 +161,8 @@ impl Zipf {
     }
 }
 
+crate::impl_snap!(SimRng { s });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,6 +215,19 @@ impl Log2Hist {
     }
 }
 
+impl crate::snap::Snap for Counter {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Counter(r.u64()?))
+    }
+}
+
+crate::impl_snap!(Running { n, sum, min, max });
+
+crate::impl_snap!(Log2Hist { buckets, running });
+
 #[cfg(test)]
 mod tests {
     use super::*;

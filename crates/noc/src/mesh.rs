@@ -361,6 +361,20 @@ impl Mesh {
     }
 }
 
+cmpsim_engine::impl_snap!(NocConfig {
+    cols,
+    rows,
+    link_cycles,
+    switch_cycles,
+    router_cycles,
+    flit_bytes,
+    control_flits,
+    data_flits,
+    model_contention,
+});
+
+cmpsim_engine::impl_snap!(Mesh { cfg, link_free, link_busy, link_stall, stats });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,18 @@ impl MetricSource for NocStats {
     }
 }
 
+cmpsim_engine::impl_snap!(NocStats {
+    messages,
+    broadcasts,
+    local_deliveries,
+    routing_events,
+    flit_link_traversals,
+    contention_cycles,
+    links_per_message,
+    message_latency,
+    broadcast_latency,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

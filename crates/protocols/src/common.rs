@@ -1033,7 +1033,366 @@ pub trait CoherenceProtocol {
     fn occupancy(&self) -> Occupancy {
         Occupancy::default()
     }
+    /// Deep copy of the whole protocol state, for in-memory snapshot
+    /// forking.
+    fn clone_box(&self) -> Box<dyn CoherenceProtocol>;
+    /// Serializes every mutable field (caches, MSHRs, ordering-point
+    /// transactions, statistics). The immutable [`ChipSpec`] is identity,
+    /// not state: the restorer rebuilds the protocol from the same config
+    /// and then calls [`CoherenceProtocol::load_state`].
+    fn save_state(&self, w: &mut cmpsim_engine::SnapWriter);
+    /// Restores state written by [`CoherenceProtocol::save_state`] into a
+    /// freshly-built protocol of the same kind and spec.
+    fn load_state(
+        &mut self,
+        r: &mut cmpsim_engine::SnapReader<'_>,
+    ) -> Result<(), cmpsim_engine::SnapError>;
 }
+
+impl Clone for Box<dyn CoherenceProtocol> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+// ------------------------------------------------------------- snapshots
+
+use cmpsim_engine::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Node {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Node::L1(t) => {
+                w.u8(0);
+                t.save(w);
+            }
+            Node::L2(t) => {
+                w.u8(1);
+                t.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Node::L1(Snap::load(r)?)),
+            1 => Ok(Node::L2(Snap::load(r)?)),
+            tag => Err(SnapError::BadTag { what: "Node", tag }),
+        }
+    }
+}
+
+impl Snap for Supplier {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            Supplier::OwnerL1 => 0,
+            Supplier::ProviderL1 => 1,
+            Supplier::HomeL2 => 2,
+            Supplier::Memory => 3,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Supplier::OwnerL1),
+            1 => Ok(Supplier::ProviderL1),
+            2 => Ok(Supplier::HomeL2),
+            3 => Ok(Supplier::Memory),
+            tag => Err(SnapError::BadTag { what: "Supplier", tag }),
+        }
+    }
+}
+
+cmpsim_engine::impl_snap!(ReqInfo {
+    requestor,
+    write,
+    forwarder,
+    via_home,
+    predicted,
+    vouched,
+    hops,
+});
+
+cmpsim_engine::impl_snap!(DataInfo {
+    exclusive,
+    ownership,
+    make_provider,
+    sharers,
+    propos,
+    provider_hint,
+    acks_sharers,
+    acks_providers,
+    sba_write,
+    dirty,
+    version,
+    supplier,
+});
+
+impl Snap for MsgKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            MsgKind::Req(req) => {
+                w.u8(0);
+                req.save(w);
+            }
+            MsgKind::Data(d) => {
+                w.u8(1);
+                d.save(w);
+            }
+            MsgKind::Inv { reply_to, version } => {
+                w.u8(2);
+                reply_to.save(w);
+                version.save(w);
+            }
+            MsgKind::InvProvider { reply_to } => {
+                w.u8(3);
+                reply_to.save(w);
+            }
+            MsgKind::InvSilent => w.u8(4),
+            MsgKind::Ack => w.u8(5),
+            MsgKind::AckCount { sharers } => {
+                w.u8(6);
+                sharers.save(w);
+            }
+            MsgKind::ChangeOwner { new_owner } => {
+                w.u8(7);
+                new_owner.save(w);
+            }
+            MsgKind::ChangeOwnerAck => w.u8(8),
+            MsgKind::ChangeProvider { area, new_provider } => {
+                w.u8(9);
+                area.save(w);
+                new_provider.save(w);
+            }
+            MsgKind::ChangeProviderAck => w.u8(10),
+            MsgKind::NoProvider { area, former } => {
+                w.u8(11);
+                area.save(w);
+                former.save(w);
+            }
+            MsgKind::OwnershipTransfer { sharers, propos, dirty, version, remaining } => {
+                w.u8(12);
+                sharers.save(w);
+                propos.save(w);
+                dirty.save(w);
+                version.save(w);
+                remaining.save(w);
+            }
+            MsgKind::ProvidershipTransfer { sharers, remaining, former } => {
+                w.u8(13);
+                sharers.save(w);
+                remaining.save(w);
+                former.save(w);
+            }
+            MsgKind::OwnershipRecall => w.u8(14),
+            MsgKind::RecallFailed => w.u8(15),
+            MsgKind::OwnershipToHome { dirty, version, propos, sharers, former_stays_provider } => {
+                w.u8(16);
+                dirty.save(w);
+                version.save(w);
+                propos.save(w);
+                sharers.save(w);
+                former_stays_provider.save(w);
+            }
+            MsgKind::WbAck => w.u8(17),
+            MsgKind::SbaTransition { dirty, version, former, reader } => {
+                w.u8(18);
+                dirty.save(w);
+                version.save(w);
+                former.save(w);
+                reader.save(w);
+            }
+            MsgKind::SbaAck => w.u8(19),
+            MsgKind::BcastInv { reply_to } => {
+                w.u8(20);
+                reply_to.save(w);
+            }
+            MsgKind::BcastAck => w.u8(21),
+            MsgKind::BcastUnblock => w.u8(22),
+            MsgKind::BcastDone { new_owner } => {
+                w.u8(23);
+                new_owner.save(w);
+            }
+            MsgKind::MemData => w.u8(24),
+            MsgKind::Unblock { became_owner } => {
+                w.u8(25);
+                became_owner.save(w);
+            }
+            MsgKind::Hint { supplier } => {
+                w.u8(26);
+                supplier.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => MsgKind::Req(Snap::load(r)?),
+            1 => MsgKind::Data(Snap::load(r)?),
+            2 => MsgKind::Inv { reply_to: Snap::load(r)?, version: Snap::load(r)? },
+            3 => MsgKind::InvProvider { reply_to: Snap::load(r)? },
+            4 => MsgKind::InvSilent,
+            5 => MsgKind::Ack,
+            6 => MsgKind::AckCount { sharers: Snap::load(r)? },
+            7 => MsgKind::ChangeOwner { new_owner: Snap::load(r)? },
+            8 => MsgKind::ChangeOwnerAck,
+            9 => MsgKind::ChangeProvider { area: Snap::load(r)?, new_provider: Snap::load(r)? },
+            10 => MsgKind::ChangeProviderAck,
+            11 => MsgKind::NoProvider { area: Snap::load(r)?, former: Snap::load(r)? },
+            12 => MsgKind::OwnershipTransfer {
+                sharers: Snap::load(r)?,
+                propos: Snap::load(r)?,
+                dirty: Snap::load(r)?,
+                version: Snap::load(r)?,
+                remaining: Snap::load(r)?,
+            },
+            13 => MsgKind::ProvidershipTransfer {
+                sharers: Snap::load(r)?,
+                remaining: Snap::load(r)?,
+                former: Snap::load(r)?,
+            },
+            14 => MsgKind::OwnershipRecall,
+            15 => MsgKind::RecallFailed,
+            16 => MsgKind::OwnershipToHome {
+                dirty: Snap::load(r)?,
+                version: Snap::load(r)?,
+                propos: Snap::load(r)?,
+                sharers: Snap::load(r)?,
+                former_stays_provider: Snap::load(r)?,
+            },
+            17 => MsgKind::WbAck,
+            18 => MsgKind::SbaTransition {
+                dirty: Snap::load(r)?,
+                version: Snap::load(r)?,
+                former: Snap::load(r)?,
+                reader: Snap::load(r)?,
+            },
+            19 => MsgKind::SbaAck,
+            20 => MsgKind::BcastInv { reply_to: Snap::load(r)? },
+            21 => MsgKind::BcastAck,
+            22 => MsgKind::BcastUnblock,
+            23 => MsgKind::BcastDone { new_owner: Snap::load(r)? },
+            24 => MsgKind::MemData,
+            25 => MsgKind::Unblock { became_owner: Snap::load(r)? },
+            26 => MsgKind::Hint { supplier: Snap::load(r)? },
+            tag => return Err(SnapError::BadTag { what: "MsgKind", tag }),
+        })
+    }
+}
+
+cmpsim_engine::impl_snap!(Msg { kind, block, src, dst });
+
+impl Snap for ProtoStats {
+    fn save(&self, w: &mut SnapWriter) {
+        self.l1_tag.save(w);
+        self.l1_data_read.save(w);
+        self.l1_data_write.save(w);
+        self.l2_tag.save(w);
+        self.l2_data_read.save(w);
+        self.l2_data_write.save(w);
+        self.dir_access.save(w);
+        self.l1c_access.save(w);
+        self.l2c_access.save(w);
+        self.accesses.save(w);
+        self.l1_hits.save(w);
+        self.l1_misses.save(w);
+        self.write_misses.save(w);
+        self.invalidations.save(w);
+        self.broadcast_invs.save(w);
+        self.l1_repl_transactions.save(w);
+        self.l2_evictions.save(w);
+        self.mem_reads.save(w);
+        self.mem_writes.save(w);
+        self.pred_lookups.save(w);
+        self.pred_hits.save(w);
+        self.home_lookups.save(w);
+        self.home_hits.save(w);
+        self.retries.save(w);
+        self.timeouts.save(w);
+        self.dedup_drops.save(w);
+        self.miss_latency.save(w);
+        self.miss_latency_hist.save(w);
+        // miss_class keys are the static Figure-9b labels; serialize as
+        // strings and map back on load (BTreeMap iterates sorted, so the
+        // byte stream is deterministic).
+        w.len_prefix(self.miss_class.len());
+        for (label, n) in &self.miss_class {
+            label.to_string().save(w);
+            n.save(w);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut s = ProtoStats {
+            l1_tag: Snap::load(r)?,
+            l1_data_read: Snap::load(r)?,
+            l1_data_write: Snap::load(r)?,
+            l2_tag: Snap::load(r)?,
+            l2_data_read: Snap::load(r)?,
+            l2_data_write: Snap::load(r)?,
+            dir_access: Snap::load(r)?,
+            l1c_access: Snap::load(r)?,
+            l2c_access: Snap::load(r)?,
+            accesses: Snap::load(r)?,
+            l1_hits: Snap::load(r)?,
+            l1_misses: Snap::load(r)?,
+            write_misses: Snap::load(r)?,
+            invalidations: Snap::load(r)?,
+            broadcast_invs: Snap::load(r)?,
+            l1_repl_transactions: Snap::load(r)?,
+            l2_evictions: Snap::load(r)?,
+            mem_reads: Snap::load(r)?,
+            mem_writes: Snap::load(r)?,
+            pred_lookups: Snap::load(r)?,
+            pred_hits: Snap::load(r)?,
+            home_lookups: Snap::load(r)?,
+            home_hits: Snap::load(r)?,
+            retries: Snap::load(r)?,
+            timeouts: Snap::load(r)?,
+            dedup_drops: Snap::load(r)?,
+            miss_latency: Snap::load(r)?,
+            miss_latency_hist: Snap::load(r)?,
+            miss_class: BTreeMap::new(),
+        };
+        let n = r.len_prefix("ProtoStats.miss_class", 1)?;
+        for _ in 0..n {
+            let label = String::load(r)?;
+            let count = u64::load(r)?;
+            let stat = MissClass::all()
+                .iter()
+                .map(|c| c.label())
+                .find(|l| *l == label)
+                .ok_or(SnapError::Corrupt("unknown miss-class label"))?;
+            s.miss_class.insert(stat, count);
+        }
+        Ok(s)
+    }
+}
+
+cmpsim_engine::impl_snap!(BlockQueues { busy, pending });
+cmpsim_engine::impl_snap!(VersionAuthority { latest });
+cmpsim_engine::impl_snap!(MemoryImage { versions });
+
+/// Expands to the [`CoherenceProtocol::save_state`] /
+/// [`CoherenceProtocol::load_state`] method pair over the listed fields
+/// (every mutable field, in declaration order; the immutable `ChipSpec`
+/// is identity and is supplied again by the restorer's constructor).
+macro_rules! snap_state_methods {
+    ($($field:ident),+ $(,)?) => {
+        fn save_state(&self, w: &mut cmpsim_engine::SnapWriter) {
+            $( cmpsim_engine::Snap::save(&self.$field, w); )+
+        }
+
+        fn load_state(
+            &mut self,
+            r: &mut cmpsim_engine::SnapReader<'_>,
+        ) -> Result<(), cmpsim_engine::SnapError> {
+            $( self.$field = cmpsim_engine::Snap::load(r)?; )+
+            Ok(())
+        }
+    };
+}
+pub(crate) use snap_state_methods;
 
 /// Per-block busy flags with FIFO pending queues — the transaction
 /// serialization device used at every ordering point.

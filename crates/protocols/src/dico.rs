@@ -105,6 +105,7 @@ enum HomeTx {
 }
 
 /// The Direct Coherence protocol.
+#[derive(Clone)]
 pub struct DiCo {
     spec: ChipSpec,
     stats: ProtoStats,
@@ -135,6 +136,82 @@ pub struct DiCo {
 }
 
 const TOMBSTONE_CAP: usize = 128;
+
+cmpsim_engine::impl_snap!(L1Line { state, sharers, version });
+cmpsim_engine::impl_snap!(L2Entry { dirty, version, sharers });
+cmpsim_engine::impl_snap!(MshrEntry {
+    write,
+    issued_at,
+    predicted,
+    upgrade,
+    have_data,
+    fill,
+    fill_from,
+    acks_needed,
+    pending_inv,
+});
+
+impl cmpsim_engine::Snap for L1State {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        match self {
+            L1State::Sharer { hint } => {
+                w.u8(0);
+                hint.save(w);
+            }
+            L1State::Owner { exclusive, dirty } => {
+                w.u8(1);
+                exclusive.save(w);
+                dirty.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        use cmpsim_engine::Snap;
+        Ok(match r.u8()? {
+            0 => L1State::Sharer { hint: Snap::load(r)? },
+            1 => L1State::Owner { exclusive: Snap::load(r)?, dirty: Snap::load(r)? },
+            tag => return Err(cmpsim_engine::SnapError::BadTag { what: "dico::L1State", tag }),
+        })
+    }
+}
+
+impl cmpsim_engine::Snap for HomeTx {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        match self {
+            HomeTx::MemFetch { req } => {
+                w.u8(0);
+                req.save(w);
+            }
+            HomeTx::Recall => w.u8(1),
+            HomeTx::Granting { to } => {
+                w.u8(2);
+                to.save(w);
+            }
+            HomeTx::EvictL2 { acks_left, dirty, version } => {
+                w.u8(3);
+                acks_left.save(w);
+                dirty.save(w);
+                version.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        use cmpsim_engine::Snap;
+        Ok(match r.u8()? {
+            0 => HomeTx::MemFetch { req: Snap::load(r)? },
+            1 => HomeTx::Recall,
+            2 => HomeTx::Granting { to: Snap::load(r)? },
+            3 => HomeTx::EvictL2 {
+                acks_left: Snap::load(r)?,
+                dirty: Snap::load(r)?,
+                version: Snap::load(r)?,
+            },
+            tag => return Err(cmpsim_engine::SnapError::BadTag { what: "dico::HomeTx", tag }),
+        })
+    }
+}
 
 impl DiCo {
     /// Builds the protocol for `spec`.
@@ -1422,6 +1499,30 @@ impl CoherenceProtocol for DiCo {
             && self.co_pending.iter().all(|s| s.is_empty())
             && self.bounce_hold.iter().all(|b| b.values().all(|q| q.is_empty()))
     }
+
+    fn clone_box(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
+    }
+
+    crate::common::snap_state_methods!(
+        stats,
+        authority,
+        mem,
+        l1,
+        l1c,
+        mshr,
+        l1_queues,
+        co_pending,
+        co_ack_early,
+        tombstones,
+        tombstone_fifo,
+        l2,
+        l2c,
+        home_queues,
+        tx,
+        bounce_hold,
+        pending_mem_writes,
+    );
 
     fn occupancy(&self) -> Occupancy {
         let (l1_lines, l1_capacity) = occupancy_of(&self.l1);

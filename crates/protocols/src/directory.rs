@@ -75,6 +75,7 @@ enum HomeTx {
 }
 
 /// The flat directory protocol.
+#[derive(Clone)]
 pub struct Directory {
     spec: ChipSpec,
     stats: ProtoStats,
@@ -91,6 +92,70 @@ pub struct Directory {
     pending_evict_invs: Vec<(Tile, Block, u64)>,
     /// Deferred memory write-back ops for driver accounting.
     pending_mem_writes: Vec<(Tile, Block)>,
+}
+
+cmpsim_engine::impl_snap!(L1Line { state, version });
+cmpsim_engine::impl_snap!(L2Entry { dirty, version, sharers, owner });
+cmpsim_engine::impl_snap!(DirEntry { sharers, owner });
+cmpsim_engine::impl_snap!(MshrEntry { write, issued_at, have_data, fill, acks_needed });
+
+impl cmpsim_engine::Snap for L1State {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        w.u8(match self {
+            L1State::Shared => 0,
+            L1State::Exclusive => 1,
+            L1State::Modified => 2,
+        });
+    }
+
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        match r.u8()? {
+            0 => Ok(L1State::Shared),
+            1 => Ok(L1State::Exclusive),
+            2 => Ok(L1State::Modified),
+            tag => Err(cmpsim_engine::SnapError::BadTag { what: "directory::L1State", tag }),
+        }
+    }
+}
+
+impl cmpsim_engine::Snap for HomeTx {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        match self {
+            HomeTx::MemFetch { req } => {
+                w.u8(0);
+                req.save(w);
+            }
+            HomeTx::Served => w.u8(1),
+            HomeTx::Forwarded { wb_applied, unblocked, bounced } => {
+                w.u8(2);
+                wb_applied.save(w);
+                unblocked.save(w);
+                bounced.save(w);
+            }
+            HomeTx::Evict { acks_left, wb_pending } => {
+                w.u8(3);
+                acks_left.save(w);
+                wb_pending.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        use cmpsim_engine::Snap;
+        Ok(match r.u8()? {
+            0 => HomeTx::MemFetch { req: Snap::load(r)? },
+            1 => HomeTx::Served,
+            2 => HomeTx::Forwarded {
+                wb_applied: Snap::load(r)?,
+                unblocked: Snap::load(r)?,
+                bounced: Snap::load(r)?,
+            },
+            3 => HomeTx::Evict { acks_left: Snap::load(r)?, wb_pending: Snap::load(r)? },
+            tag => {
+                return Err(cmpsim_engine::SnapError::BadTag { what: "directory::HomeTx", tag })
+            }
+        })
+    }
 }
 
 impl Directory {
@@ -862,6 +927,24 @@ impl CoherenceProtocol for Directory {
             && self.queues.iter().all(|q| q.idle())
             && self.tx.iter().all(|t| t.is_empty())
     }
+
+    fn clone_box(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
+    }
+
+    crate::common::snap_state_methods!(
+        stats,
+        authority,
+        mem,
+        l1,
+        mshr,
+        l2,
+        dircache,
+        queues,
+        tx,
+        pending_evict_invs,
+        pending_mem_writes,
+    );
 
     fn occupancy(&self) -> Occupancy {
         let (l1_lines, l1_capacity) = occupancy_of(&self.l1);

@@ -165,6 +165,49 @@ impl MachineMemory {
     }
 }
 
+impl cmpsim_engine::Snap for Region {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        w.u8(match self {
+            Region::CorePrivate => 0,
+            Region::VmShared => 1,
+            Region::Dedup => 2,
+        });
+    }
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        match r.u8()? {
+            0 => Ok(Region::CorePrivate),
+            1 => Ok(Region::VmShared),
+            2 => Ok(Region::Dedup),
+            tag => Err(cmpsim_engine::SnapError::BadTag { what: "Region", tag }),
+        }
+    }
+}
+
+impl cmpsim_engine::Snap for PageKind {
+    fn save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        w.u8(match self {
+            PageKind::Private => 0,
+            PageKind::Deduplicated => 1,
+        });
+    }
+    fn load(r: &mut cmpsim_engine::SnapReader<'_>) -> Result<Self, cmpsim_engine::SnapError> {
+        match r.u8()? {
+            0 => Ok(PageKind::Private),
+            1 => Ok(PageKind::Deduplicated),
+            tag => Err(cmpsim_engine::SnapError::BadTag { what: "PageKind", tag }),
+        }
+    }
+}
+
+cmpsim_engine::impl_snap!(MachineMemory {
+    next_ppn,
+    tables,
+    dedup_index,
+    kinds,
+    logical_pages,
+    cow_faults,
+});
+
 #[derive(Debug, Clone)]
 /// Convenience per-VM view (thin wrapper used by workload generators).
 pub struct VmSpace {

@@ -139,6 +139,35 @@ impl CoreStream {
             self.rng.gen_range(2 * m + 1)
         }
     }
+
+    /// Serializes the stream's mutable cursor state (RNG, locality
+    /// cursors). The profile is identity, not state — the restorer
+    /// supplies it again and the Zipf tables are rebuilt from it
+    /// (they are pure functions of the profile, never touched by RNG).
+    pub fn snap_save(&self, w: &mut cmpsim_engine::SnapWriter) {
+        use cmpsim_engine::Snap;
+        self.core_in_vm.save(w);
+        self.rng.save(w);
+        self.last.save(w);
+        self.run_left.save(w);
+    }
+
+    /// Rebuilds a stream for `profile` from state written by
+    /// [`CoreStream::snap_save`].
+    pub fn snap_load(
+        profile: &'static WorkloadProfile,
+        r: &mut cmpsim_engine::SnapReader<'_>,
+    ) -> Result<Self, cmpsim_engine::SnapError> {
+        use cmpsim_engine::Snap;
+        let core_in_vm = u64::load(r)?;
+        let rng = SimRng::load(r)?;
+        let last = Option::<(Region, u64, u64)>::load(r)?;
+        let run_left = u64::load(r)?;
+        let mut s = Self::new(profile, core_in_vm, rng);
+        s.last = last;
+        s.run_left = run_left;
+        Ok(s)
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +298,23 @@ mod tests {
         // same block.
         let f = same as f64 / n as f64;
         assert!(f > 0.85, "same-block fraction {f}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let mut a = stream(&APACHE, 99);
+        for _ in 0..5000 {
+            a.next_ref(); // advance into a mid-run cursor state
+        }
+        let mut w = cmpsim_engine::SnapWriter::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = cmpsim_engine::SnapReader::new(&bytes);
+        let mut b = CoreStream::snap_load(&APACHE, &mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        for _ in 0..5000 {
+            assert_eq!(a.next_ref(), b.next_ref());
+        }
     }
 
     #[test]
