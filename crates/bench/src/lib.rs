@@ -4,16 +4,29 @@
 //! paper's numbers with the measured ones; EXPERIMENTS.md records a
 //! captured run.
 
-use cmpsim::{RunResult, SystemConfig};
+use cmpsim::{env, RunResult, SystemConfig};
+
+/// Unwraps a `cmpsim::env` lookup for the report binaries: a malformed
+/// variable aborts with exit code 2 instead of silently running a long
+/// report under default settings.
+fn env_or_die<T>(r: Result<Option<T>, env::EnvError>) -> Option<T> {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
 
 /// Reference budget for report runs; override with the first CLI
 /// argument or the `CMPSIM_REFS` environment variable.
 pub fn refs_from_args() -> u64 {
-    std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("CMPSIM_REFS").ok())
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000)
+    if let Some(arg) = std::env::args().nth(1) {
+        if let Ok(n) = arg.parse() {
+            return n;
+        }
+        eprintln!("error: bad refs argument {arg:?} (want an integer)");
+        std::process::exit(2);
+    }
+    env_or_die(env::parsed(env::REFS, "an integer")).unwrap_or(60_000)
 }
 
 /// The standard report configuration (paper chip + CLI reference
@@ -30,15 +43,13 @@ pub fn report_config() -> SystemConfig {
 /// config should pass through [`write_observability`] so the requested
 /// files actually land.
 pub fn obs_from_env(mut cfg: SystemConfig) -> SystemConfig {
-    if let Some(n) = std::env::var("CMPSIM_INTERVAL").ok().and_then(|s| s.parse().ok()) {
+    if let Some(n) = env_or_die(env::parsed(env::INTERVAL, "a cycle count (integer >= 1)")) {
         cfg = cfg.with_interval(n);
     }
-    if std::env::var_os("CMPSIM_TRACE_OUT").is_some() {
+    if env::flag(env::TRACE_OUT) {
         cfg = cfg.with_tracing();
     }
-    if std::env::var_os("CMPSIM_ATTR").is_some()
-        || std::env::var_os("CMPSIM_BREAKDOWN_OUT").is_some()
-    {
+    if env::flag(env::ATTR) || env::flag(env::BREAKDOWN_OUT) {
         cfg = cfg.with_attribution();
     }
     cfg
@@ -55,7 +66,7 @@ pub fn write_observability(r: &RunResult, tag: &str) {
         _ if !tag.is_empty() => format!("{path}-{tag}"),
         _ => path.to_string(),
     };
-    if let (Ok(path), Some(t)) = (std::env::var("CMPSIM_TRACE_OUT"), r.trace.as_ref()) {
+    if let (Some(path), Some(t)) = (env::string(env::TRACE_OUT), r.trace.as_ref()) {
         let path = suffixed(&path);
         let label = format!("{} on {}", r.protocol.name(), r.benchmark.name());
         if let Err(e) = std::fs::write(&path, r.stamp_artifact(t.to_chrome_json(&label))) {
@@ -65,7 +76,7 @@ pub fn write_observability(r: &RunResult, tag: &str) {
         }
     }
     if let Some(ts) = &r.timeseries {
-        if let Ok(path) = std::env::var("CMPSIM_SERIES_OUT") {
+        if let Some(path) = env::string(env::SERIES_OUT) {
             let path = suffixed(&path);
             let body =
                 if path.ends_with(".csv") { ts.to_csv() } else { r.stamp_artifact(ts.to_json()) };
@@ -77,7 +88,7 @@ pub fn write_observability(r: &RunResult, tag: &str) {
         }
     }
     if r.breakdown.is_some() {
-        if let Ok(path) = std::env::var("CMPSIM_BREAKDOWN_OUT") {
+        if let Some(path) = env::string(env::BREAKDOWN_OUT) {
             let path = suffixed(&path);
             let results = std::slice::from_ref(r);
             let body = if path.ends_with(".csv") {

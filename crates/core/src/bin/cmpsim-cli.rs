@@ -22,6 +22,20 @@
 //!                                               # re-run a crash dump (resumes
 //!                                               # from the warmed checkpoint
 //!                                               # when one is on disk)
+//! cmpsim-cli sweep [-p P[,P..]] [-b B[,B..]] [--seeds S,S..] [--plans SPEC,..]
+//!                  [--refs N] [--small|--paper] [--alt] [--out-dir D]
+//!                  [--journal F] [--deadline-ms N] [--retries N]
+//!                  [--backoff-ms N] [--inject panic@I|hang@I|flaky@I[:N]]...
+//!                  [--threads N] [--snapshot-dir D] [--report-out F]
+//! cmpsim-cli sweep --resume <journal> [--threads N] [--report-out F]
+//!                                               # resilient job-queue sweep:
+//!                                               # per-cell catch_unwind +
+//!                                               # deadline, retry w/ backoff,
+//!                                               # quarantine, crash-resumable
+//!                                               # NDJSON journal; exits nonzero
+//!                                               # when cells were lost (the
+//!                                               # partial report still lists
+//!                                               # every failed cell + E-code)
 //! cmpsim-cli chaos [--plans N] [--mode M] [--seed S] [--refs N]
 //!                  [--small] [--alt] [-p P] [-b B] [--progress-out F]
 //!                  [--json-out F] [--report-out F] [--threads N]
@@ -158,13 +172,7 @@ struct Options {
 /// Worker-thread default from `CMPSIM_THREADS` (`None` when unset;
 /// `--threads` overrides it).
 fn env_threads() -> Result<Option<usize>, String> {
-    match std::env::var("CMPSIM_THREADS") {
-        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(Some(n)),
-            _ => Err(format!("bad CMPSIM_THREADS value {v:?} (want an integer >= 1)")),
-        },
-        _ => Ok(None),
-    }
+    cmpsim::env::positive(cmpsim::env::THREADS).map_err(|e| e.to_string())
 }
 
 fn parse_threads(v: &str) -> Result<usize, String> {
@@ -1102,6 +1110,175 @@ fn cmd_chaos(args: &[String]) {
     }
 }
 
+/// `sweep`: resilient job-queue sweep — blast-radius containment per
+/// cell (catch_unwind + per-cell deadline), bounded retry with backoff
+/// for transient failures, immediate quarantine for deterministic ones,
+/// and an NDJSON journal that makes the whole run crash-resumable.
+fn cmd_sweep(args: &[String]) {
+    let bad = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    let mut resume: Option<String> = None;
+    let mut protocols: Vec<ProtocolKind> = Vec::new();
+    let mut benchmarks: Vec<Benchmark> = Vec::new();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut plans: Vec<Option<FaultPlan>> = Vec::new();
+    let mut refs: u64 = 800;
+    let mut small = true;
+    let mut alt = false;
+    let mut opts = cmpsim::SweepOptions::default();
+    let mut journal: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    opts.threads = env_threads().unwrap_or_else(|e| bad(e));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--resume" => {
+                let v = it.next().unwrap_or_else(|| bad("--resume needs a journal path".into()));
+                resume = Some(v.clone());
+            }
+            "--protocol" | "-p" => {
+                let v = it.next().unwrap_or_else(|| bad("--protocol needs a value".into()));
+                for s in v.split(',') {
+                    protocols.push(
+                        parse_protocol(s).unwrap_or_else(|| bad(format!("unknown protocol {s}"))),
+                    );
+                }
+            }
+            "--benchmark" | "-b" => {
+                let v = it.next().unwrap_or_else(|| bad("--benchmark needs a value".into()));
+                for s in v.split(',') {
+                    benchmarks.push(
+                        parse_benchmark(s).unwrap_or_else(|| bad(format!("unknown benchmark {s}"))),
+                    );
+                }
+            }
+            "--seeds" => {
+                let v = it.next().unwrap_or_else(|| bad("--seeds needs a comma list".into()));
+                for s in v.split(',') {
+                    seeds.push(s.parse().unwrap_or_else(|_| bad(format!("bad seed {s}"))));
+                }
+            }
+            "--plans" => {
+                let v = it.next().unwrap_or_else(|| bad("--plans needs a comma list".into()));
+                for s in v.split(',') {
+                    if s == "none" {
+                        plans.push(None);
+                    } else {
+                        plans.push(Some(FaultPlan::parse(s).unwrap_or_else(|e| bad(e))));
+                    }
+                }
+            }
+            "--refs" | "-n" => {
+                let v = it.next().unwrap_or_else(|| bad("--refs needs a value".into()));
+                refs = v.parse().unwrap_or_else(|_| bad(format!("bad refs {v}")));
+            }
+            "--paper" => small = false,
+            "--small" => small = true,
+            "--alt" => alt = true,
+            "--out-dir" => {
+                let v = it.next().unwrap_or_else(|| bad("--out-dir needs a directory".into()));
+                opts.out_dir = v.into();
+            }
+            "--journal" => {
+                let v = it.next().unwrap_or_else(|| bad("--journal needs a file path".into()));
+                journal = Some(v.clone());
+            }
+            "--deadline-ms" => {
+                let v = it.next().unwrap_or_else(|| bad("--deadline-ms needs a value".into()));
+                opts.deadline_ms =
+                    Some(v.parse().unwrap_or_else(|_| bad(format!("bad deadline {v}"))));
+            }
+            "--retries" => {
+                let v = it.next().unwrap_or_else(|| bad("--retries needs a count".into()));
+                opts.retries = v.parse().unwrap_or_else(|_| bad(format!("bad retry count {v}")));
+            }
+            "--backoff-ms" => {
+                let v = it.next().unwrap_or_else(|| bad("--backoff-ms needs a value".into()));
+                opts.backoff_ms = v.parse().unwrap_or_else(|_| bad(format!("bad backoff {v}")));
+            }
+            "--inject" => {
+                let v = it.next().unwrap_or_else(|| bad("--inject needs kind@cell".into()));
+                opts.injections.push(cmpsim::Injection::parse(v).unwrap_or_else(|e| bad(e)));
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| bad("--threads needs a count".into()));
+                opts.threads = Some(parse_threads(v).unwrap_or_else(|e| bad(e)));
+            }
+            "--snapshot-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| bad("--snapshot-dir needs a directory path".into()));
+                opts.snapshot_dir = Some(v.into());
+            }
+            "--report-out" => {
+                let v = it.next().unwrap_or_else(|| bad("--report-out needs a file path".into()));
+                report_out = Some(v.clone());
+            }
+            other => bad(format!("unknown sweep option {other}")),
+        }
+    }
+
+    let outcome = match resume {
+        Some(journal) => {
+            eprintln!("resuming sweep from {journal}");
+            cmpsim::resume_sweep(Path::new(&journal), opts.threads).unwrap_or_else(|e| bad(e))
+        }
+        None => {
+            let mut base = if small { SystemConfig::small() } else { SystemConfig::paper() };
+            base = base.with_refs(refs);
+            if alt {
+                base = base.with_placement(Placement::Alternative);
+            }
+            let spec = cmpsim::SweepSpec {
+                protocols: if protocols.is_empty() {
+                    ProtocolKind::all().to_vec()
+                } else {
+                    protocols
+                },
+                benchmarks: if benchmarks.is_empty() {
+                    Benchmark::all().to_vec()
+                } else {
+                    benchmarks
+                },
+                seeds,
+                plans,
+                base,
+            };
+            opts.journal =
+                journal.map_or_else(|| opts.out_dir.join("sweep.ndjson"), Into::into);
+            eprintln!(
+                "sweep: {} protocols x {} benchmarks x {} seeds x {} plans, journal {}",
+                spec.protocols.len(),
+                spec.benchmarks.len(),
+                spec.seeds.len().max(1),
+                spec.plans.len().max(1),
+                opts.journal.display()
+            );
+            cmpsim::run_sweep(&spec, &opts).unwrap_or_else(|e| bad(e))
+        }
+    };
+
+    let md = outcome.report_markdown();
+    match &report_out {
+        Some(p) => write_file(p, &md, "sweep report"),
+        None => print!("{md}"),
+    }
+    if outcome.skipped > 0 {
+        eprintln!("resume skipped {} already-terminal cells", outcome.skipped);
+    }
+    if !outcome.ok() {
+        let failed = outcome.quarantined();
+        eprintln!("{} cell(s) quarantined:", failed.len());
+        for (c, e) in &failed {
+            eprintln!("  cell {} {} [{}]: {}", c.index, c.name(), e.code, e.message);
+        }
+        std::process::exit(1);
+    }
+    eprintln!("sweep complete: all {} cells done", outcome.cells.len());
+}
+
 fn cmd_list() {
     println!("protocols:  directory | dico | providers | arin");
     println!("benchmarks: apache | jbb | radix | lu | volrend | tomcatv | mixed-com | mixed-sci");
@@ -1114,7 +1291,7 @@ fn main() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: cmpsim-cli <run|stats|matrix|breakdown|vmstat|report|compare|tables|replay|chaos|list> [options]"
+                "usage: cmpsim-cli <run|stats|matrix|breakdown|vmstat|report|compare|tables|replay|sweep|chaos|list> [options]"
             );
             std::process::exit(2);
         }
@@ -1122,6 +1299,7 @@ fn main() {
     match cmd {
         "tables" => cmd_tables(),
         "list" => cmd_list(),
+        "sweep" => cmd_sweep(rest),
         "chaos" => cmd_chaos(rest),
         "compare" => cmd_compare(rest),
         "replay" => {
@@ -1175,7 +1353,7 @@ fn main() {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try run, stats, matrix, breakdown, vmstat, report, compare, tables, replay, chaos, list"
+                "unknown command {other}; try run, stats, matrix, breakdown, vmstat, report, compare, tables, replay, sweep, chaos, list"
             );
             std::process::exit(2);
         }

@@ -437,12 +437,7 @@ fn run_caught(
     panic::catch_unwind(AssertUnwindSafe(|| {
         run_benchmark_with_store(kind, benchmark, cfg, store)
     }))
-    .map_err(|p| {
-        p.downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| p.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".into())
-    })
+    .map_err(cmpsim_engine::par::panic_message)
 }
 
 #[cfg(test)]

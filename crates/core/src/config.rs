@@ -69,6 +69,15 @@ pub struct SystemConfig {
     /// that predate fault injection. The plan is part of the replay
     /// artifact so faulty runs reproduce exactly.
     pub fault_plan: Option<FaultPlan>,
+    /// Host wall-clock budget for one run, in milliseconds. When the
+    /// budget is exceeded the event loop aborts with
+    /// `SimError::Timeout` instead of holding its worker indefinitely
+    /// (the sweep orchestrator's per-cell deadline). A *host*-side
+    /// knob like the observability toggles: it is excluded from the
+    /// canonical config JSON, the manifest `run_id` and the snapshot
+    /// key, because a run that completes under a deadline is
+    /// bit-identical to one without it.
+    pub wall_deadline_ms: Option<u64>,
 }
 
 impl SystemConfig {
@@ -95,6 +104,7 @@ impl SystemConfig {
             sample_interval: None,
             attribution: false,
             fault_plan: None,
+            wall_deadline_ms: None,
         }
     }
 
@@ -120,6 +130,7 @@ impl SystemConfig {
             sample_interval: None,
             attribution: false,
             fault_plan: None,
+            wall_deadline_ms: None,
         }
     }
 
@@ -197,6 +208,13 @@ impl SystemConfig {
     /// fault-injection plan (`None` disables injection).
     pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Returns a copy with a host wall-clock deadline, in milliseconds
+    /// (`None` removes it). See [`SystemConfig::wall_deadline_ms`].
+    pub fn with_wall_deadline_ms(mut self, ms: Option<u64>) -> Self {
+        self.wall_deadline_ms = ms;
         self
     }
 

@@ -203,6 +203,30 @@ pub struct FaultAbort {
     pub artifact: Option<PathBuf>,
 }
 
+/// Structured dump attached to [`SimError::Timeout`]: the run exceeded
+/// its host wall-clock budget (`SystemConfig::wall_deadline_ms`). Unlike
+/// a stall, this says nothing about simulated progress — the run may
+/// simply be too slow for the sweep's per-cell deadline — so timeouts
+/// are classified as *transient* by the orchestrator and retried.
+#[derive(Debug, Clone)]
+pub struct TimeoutReport {
+    /// The wall-clock budget that was exceeded, in milliseconds.
+    pub budget_ms: u64,
+    /// Host milliseconds actually elapsed when the deadline fired.
+    pub elapsed_ms: u64,
+    /// Simulated cycle the run had reached.
+    pub cycle: Cycle,
+    /// Events processed up to that point.
+    pub events: u64,
+    /// References retired chip-wide up to that point.
+    pub refs_done: u64,
+    /// The active fault plan and fired-fault counts, when the run was
+    /// executing under fault injection.
+    pub fault: Option<FaultContext>,
+    /// Replay artifact written for this failure, if any.
+    pub artifact: Option<PathBuf>,
+}
+
 /// A failed simulation run.
 ///
 /// The reports are boxed so a `Result<RunResult, SimError>` stays small
@@ -228,6 +252,12 @@ pub enum SimError {
     /// a corrupted / version-mismatched image. Snapshots fail closed —
     /// a bad image is reported, never silently re-simulated around.
     Snapshot(Box<crate::snapshot::SnapshotError>),
+    /// The run exceeded its host wall-clock budget
+    /// (`SystemConfig::wall_deadline_ms`). A host-side condition, not a
+    /// simulated one: the same cell re-run with a larger budget (or a
+    /// faster host) may well complete, which is why sweep orchestration
+    /// treats it as transient.
+    Timeout(Box<TimeoutReport>),
 }
 
 impl SimError {
@@ -239,6 +269,7 @@ impl SimError {
             SimError::Protocol(r) => r.cycle,
             SimError::Fault(r) => r.cycle,
             SimError::Snapshot(_) => 0,
+            SimError::Timeout(r) => r.cycle,
         }
     }
 
@@ -250,6 +281,7 @@ impl SimError {
             SimError::Protocol(r) => r.events,
             SimError::Fault(r) => r.events,
             SimError::Snapshot(_) => 0,
+            SimError::Timeout(r) => r.events,
         }
     }
 
@@ -261,6 +293,7 @@ impl SimError {
             SimError::Protocol(_) => "protocol-fault",
             SimError::Fault(_) => "fault-unrecoverable",
             SimError::Snapshot(_) => "snapshot",
+            SimError::Timeout(_) => "wall-timeout",
         }
     }
 
@@ -275,7 +308,20 @@ impl SimError {
             SimError::Protocol(_) => "E-PROTOCOL",
             SimError::Fault(_) => "E-FAULT",
             SimError::Snapshot(_) => "E-SNAPSHOT",
+            SimError::Timeout(_) => "E-TIMEOUT",
         }
+    }
+
+    /// True when the failure is *transient* under the sweep retry
+    /// policy: it models interference external to the protocol (an
+    /// injected-fault retransmission budget exhausted, a host wall-clock
+    /// deadline missed on a loaded machine) rather than a deterministic
+    /// property of the cell's inputs. Watchdog stalls, invariant
+    /// violations, protocol faults and snapshot corruption are
+    /// reproducible defects — retrying them wastes the worker, so the
+    /// orchestrator quarantines those immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Fault(_) | SimError::Timeout(_))
     }
 
     /// The active fault plan and fired-fault counts, when the failing
@@ -284,6 +330,7 @@ impl SimError {
         match self {
             SimError::Stalled(r) => r.fault.as_ref(),
             SimError::Fault(r) => Some(&r.fault),
+            SimError::Timeout(r) => r.fault.as_ref(),
             SimError::InvariantViolation(_) | SimError::Protocol(_) | SimError::Snapshot(_) => {
                 None
             }
@@ -298,6 +345,7 @@ impl SimError {
             SimError::Protocol(r) => r.artifact.as_deref(),
             SimError::Fault(r) => r.artifact.as_deref(),
             SimError::Snapshot(r) => r.artifact.as_deref(),
+            SimError::Timeout(r) => r.artifact.as_deref(),
         }
     }
 
@@ -309,6 +357,7 @@ impl SimError {
             SimError::Protocol(r) => r.artifact = Some(path),
             SimError::Fault(r) => r.artifact = Some(path),
             SimError::Snapshot(r) => r.artifact = Some(path),
+            SimError::Timeout(r) => r.artifact = Some(path),
         }
     }
 }
@@ -430,6 +479,21 @@ impl fmt::Display for SimError {
             }
             SimError::Snapshot(r) => {
                 writeln!(f, "{r}")?;
+                if let Some(p) = &r.artifact {
+                    writeln!(f, "replay artifact: {}", p.display())?;
+                }
+                Ok(())
+            }
+            SimError::Timeout(r) => {
+                writeln!(
+                    f,
+                    "wall-clock deadline exceeded: {} ms elapsed against a {} ms budget \
+                     (simulated cycle {}, {} events, {} refs retired)",
+                    r.elapsed_ms, r.budget_ms, r.cycle, r.events, r.refs_done
+                )?;
+                if let Some(fc) = &r.fault {
+                    writeln!(f, "{fc}")?;
+                }
                 if let Some(p) = &r.artifact {
                     writeln!(f, "replay artifact: {}", p.display())?;
                 }

@@ -68,6 +68,7 @@ pub mod config;
 pub mod error;
 pub mod interval;
 pub mod manifest;
+pub mod orchestrator;
 pub mod progress;
 pub mod replay;
 pub mod report;
@@ -84,9 +85,13 @@ pub use chaos::{
 };
 pub use compare::{CompareOptions, CompareReport, MetricDiff, Verdict};
 pub use config::SystemConfig;
-pub use error::{FaultContext, SimError, StallReason};
+pub use error::{FaultContext, SimError, StallReason, TimeoutReport};
 pub use interval::{IntervalSample, IntervalSampler, TimeSeries};
 pub use manifest::RunManifest;
+pub use orchestrator::{
+    parse_journal, resume_sweep, run_sweep, CellError, CellState, Injection, SweepCell,
+    SweepOptions, SweepOutcome, SweepSpec,
+};
 pub use progress::ProgressSink;
 pub use replay::ReplayArtifact;
 pub use result::{ArchState, RunResult, SpatialLog};
@@ -100,7 +105,7 @@ pub use vmstat::{ascii_heatmap, heatmap_csv, heatmap_json, vmstat_json, vmstat_t
 
 // Re-export the registry types so downstream binaries need not depend
 // on cmpsim-engine directly.
-pub use cmpsim_engine::{FaultKind, FaultPlan, FaultStats, MetricSource, MetricsRegistry};
+pub use cmpsim_engine::{env, FaultKind, FaultPlan, FaultStats, MetricSource, MetricsRegistry};
 
 // Re-export the pieces callers need to drive experiments.
 pub use cmpsim_protocols::{MissClass, ProtocolKind};

@@ -42,6 +42,7 @@ pub const ARTIFACT_SCHEMAS: &[(&str, &str)] = &[
     ("hostprofile", "cmpsim-hostprofile-v1"),
     ("vmstat", "cmpsim-vmstat-v1"),
     ("heatmap", "cmpsim-heatmap-v1"),
+    ("sweep", "cmpsim-sweep-v1"),
 ];
 
 /// Provenance record of one simulation run, embedded in every JSON

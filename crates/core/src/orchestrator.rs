@@ -1,0 +1,1135 @@
+//! Resilient sweep orchestrator: isolated, retrying, crash-resumable
+//! matrix runs (ROADMAP item 5, robustness half).
+//!
+//! [`run_matrix`](crate::run_matrix) is an all-or-nothing in-process
+//! loop: one panicking, hanging or faulted cell loses the whole sweep.
+//! This module promotes it into a job-queue engine with blast-radius
+//! containment per cell:
+//!
+//! * a [`SweepSpec`] expands into `(config, protocol, benchmark, seed,
+//!   fault_plan)` cells, each identified by its content-hash manifest
+//!   `run_id` (duplicate cells collapse through the run-id ledger and
+//!   pre-existing artifacts are reused, never recomputed);
+//! * cells execute on a bounded worker pool; every cell runs under
+//!   `catch_unwind`, so a panic is a typed [`CellError`] (`E-PANIC`)
+//!   for that cell, not a dead sweep;
+//! * a per-cell wall-clock deadline ([`SweepOptions::deadline_ms`]) is
+//!   layered on the simulated-time watchdog via
+//!   [`SystemConfig::wall_deadline_ms`]; an overrunning cell aborts
+//!   with `E-TIMEOUT`;
+//! * *transient* failures ([`SimError::is_transient`]: `E-FAULT`,
+//!   `E-TIMEOUT`) are retried with exponential backoff plus
+//!   deterministic jitter, up to [`SweepOptions::retries`] times;
+//!   *deterministic* failures (stall, invariant violation, protocol
+//!   fault, snapshot corruption, panic) are quarantined immediately
+//!   with their crash dump attached;
+//! * every state transition appends one line to an NDJSON **sweep
+//!   journal** (`schemas/sweep.schema.json`). The journal's `start`
+//!   line embeds the full spec (canonical config JSON included), so
+//!   [`resume_sweep`] after a `kill -9` needs nothing but the journal:
+//!   completed cells are skipped, in-flight ones re-dispatched, and —
+//!   because every cell is a pure function of its manifest inputs —
+//!   the replayed remainder produces byte-identical artifacts;
+//! * a sweep that loses cells degrades gracefully: the outcome still
+//!   carries the partial matrix with a "Failed cells" section naming
+//!   each quarantined cell and its E-code, and the CLI exits nonzero
+//!   without aborting the batch.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cmpsim_engine::par::{num_threads, panic_message, try_par_map_with_threads};
+use cmpsim_engine::rng::splitmix64;
+use cmpsim_engine::{FaultPlan, WallDeadline};
+use cmpsim_protocols::ProtocolKind;
+use cmpsim_workloads::Benchmark;
+
+use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::manifest::RunManifest;
+use crate::replay::{config_from_json, config_to_json, Value};
+use crate::sim::run_benchmark_with_store;
+use crate::snapshot::SnapshotStore;
+
+/// Schema tag of every sweep-journal line.
+pub const SWEEP_SCHEMA: &str = "cmpsim-sweep-v1";
+
+/// Error code for a cell whose worker panicked (no [`SimError`] variant
+/// exists for panics — they are bugs, quarantined immediately).
+pub const PANIC_CODE: &str = "E-PANIC";
+
+/// What to sweep: the cross product of protocols, benchmarks, seeds and
+/// fault plans over one base configuration.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Protocols to run.
+    pub protocols: Vec<ProtocolKind>,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<Benchmark>,
+    /// Seeds to run (empty means "the base config's seed").
+    pub seeds: Vec<u64>,
+    /// Fault plans to run (`None` = fault-free; empty means
+    /// "fault-free only").
+    pub plans: Vec<Option<FaultPlan>>,
+    /// Everything else (chip, refs, watchdog knobs, ...).
+    pub base: SystemConfig,
+}
+
+impl SweepSpec {
+    /// Expands the spec into cells in deterministic (plan, seed,
+    /// benchmark, protocol) row-major order, computing each cell's
+    /// manifest and marking duplicates (same `run_id`) as dedups of
+    /// their first occurrence.
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let seeds: &[u64] =
+            if self.seeds.is_empty() { &[self.base.seed] } else { &self.seeds };
+        let plans: &[Option<FaultPlan>] =
+            if self.plans.is_empty() { &[None] } else { &self.plans };
+        let mut cells = Vec::new();
+        let mut first_by_run_id: HashMap<String, usize> = HashMap::new();
+        for plan in plans {
+            for &seed in seeds {
+                for &benchmark in &self.benchmarks {
+                    for &protocol in &self.protocols {
+                        let cfg = self
+                            .base
+                            .clone()
+                            .with_seed(seed)
+                            .with_fault_plan(plan.clone());
+                        let manifest = RunManifest::new(protocol, benchmark, &cfg);
+                        let index = cells.len();
+                        let dedup_of =
+                            first_by_run_id.entry(manifest.run_id.clone()).or_insert(index);
+                        let dedup_of = (*dedup_of != index).then_some(*dedup_of);
+                        cells.push(SweepCell {
+                            index,
+                            protocol,
+                            benchmark,
+                            seed,
+                            plan: plan.clone(),
+                            cfg,
+                            manifest,
+                            dedup_of,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One expanded cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the expanded cell list (stable across resume: the
+    /// expansion order is deterministic).
+    pub index: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Benchmark under test.
+    pub benchmark: Benchmark,
+    /// Seed this cell runs under.
+    pub seed: u64,
+    /// Fault plan this cell runs under, if any.
+    pub plan: Option<FaultPlan>,
+    /// The cell's full configuration (base + seed + plan).
+    pub cfg: SystemConfig,
+    /// Provenance manifest; `manifest.run_id` keys the cell's artifact.
+    pub manifest: RunManifest,
+    /// When another cell with the same `run_id` precedes this one, its
+    /// index: this cell never dispatches, it shares that artifact.
+    pub dedup_of: Option<usize>,
+}
+
+impl SweepCell {
+    /// Human-readable cell name for journals and reports.
+    pub fn name(&self) -> String {
+        let mut s = format!("{}/{}@{}", self.protocol.name(), self.benchmark.name(), self.seed);
+        if let Some(p) = &self.plan {
+            s.push('+');
+            s.push_str(&p.spec());
+        }
+        s
+    }
+
+    /// File name of the cell's metrics artifact (under the sweep's
+    /// `out_dir`), keyed by content-hash run id.
+    pub fn artifact_name(&self) -> String {
+        format!("{}.metrics.json", self.manifest.run_id)
+    }
+}
+
+/// A deliberately broken cell, for exercising the containment paths in
+/// tests and CI without hunting for a real defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injection {
+    /// The worker panics inside the cell (→ quarantined, `E-PANIC`).
+    Panic {
+        /// Target cell index.
+        cell: usize,
+    },
+    /// The cell hangs past the per-cell deadline on every attempt
+    /// (→ retried as `E-TIMEOUT`, then quarantined).
+    Hang {
+        /// Target cell index.
+        cell: usize,
+    },
+    /// The cell fails with a synthetic transient `E-FAULT` on its first
+    /// `failures` attempts, then runs normally (→ retried to success).
+    Flaky {
+        /// Target cell index.
+        cell: usize,
+        /// Attempts that fail before the cell runs clean.
+        failures: u32,
+    },
+}
+
+impl Injection {
+    /// Parses `panic@IDX`, `hang@IDX` or `flaky@IDX[:N]` (N defaults
+    /// to 1).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, rest) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("bad injection {spec:?} (want kind@cell)"))?;
+        let bad = |what: &str| format!("bad injection {spec:?} ({what})");
+        match kind {
+            "panic" => Ok(Injection::Panic {
+                cell: rest.parse().map_err(|_| bad("cell index"))?,
+            }),
+            "hang" => Ok(Injection::Hang {
+                cell: rest.parse().map_err(|_| bad("cell index"))?,
+            }),
+            "flaky" => {
+                let (cell, failures) = match rest.split_once(':') {
+                    Some((c, n)) => (
+                        c.parse().map_err(|_| bad("cell index"))?,
+                        n.parse().map_err(|_| bad("failure count"))?,
+                    ),
+                    None => (rest.parse().map_err(|_| bad("cell index"))?, 1),
+                };
+                Ok(Injection::Flaky { cell, failures })
+            }
+            other => Err(format!("unknown injection kind {other:?} (panic|hang|flaky)")),
+        }
+    }
+
+    /// Spec string that round-trips through [`Injection::parse`].
+    pub fn spec(&self) -> String {
+        match self {
+            Injection::Panic { cell } => format!("panic@{cell}"),
+            Injection::Hang { cell } => format!("hang@{cell}"),
+            Injection::Flaky { cell, failures } => format!("flaky@{cell}:{failures}"),
+        }
+    }
+
+    fn cell(&self) -> usize {
+        match self {
+            Injection::Panic { cell } | Injection::Hang { cell } => *cell,
+            Injection::Flaky { cell, .. } => *cell,
+        }
+    }
+}
+
+/// Execution knobs of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker-pool size (`None` = one per host core).
+    pub threads: Option<usize>,
+    /// Directory cell artifacts are written into (created if missing).
+    pub out_dir: PathBuf,
+    /// Path of the NDJSON sweep journal.
+    pub journal: PathBuf,
+    /// Per-cell wall-clock deadline in milliseconds (`None` = no
+    /// deadline; only the simulated-time watchdog applies).
+    pub deadline_ms: Option<u64>,
+    /// Retry budget for transient failures (0 = quarantine on first
+    /// failure, like deterministic ones).
+    pub retries: u32,
+    /// Exponential-backoff base in milliseconds: attempt `k` sleeps
+    /// `backoff_ms * 2^(k-1)` plus deterministic jitter in
+    /// `[0, backoff_ms)`, capped at 5 s.
+    pub backoff_ms: u64,
+    /// Disk-backed snapshot store for warm-state forking (`None` = a
+    /// process-local in-memory store).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Deliberately broken cells (tests / CI).
+    pub injections: Vec<Injection>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            out_dir: PathBuf::from("sweep-out"),
+            journal: PathBuf::from("sweep-out/sweep.ndjson"),
+            deadline_ms: None,
+            retries: 2,
+            backoff_ms: 100,
+            snapshot_dir: None,
+            injections: Vec::new(),
+        }
+    }
+}
+
+/// Typed failure of one cell (panics included), as recorded in the
+/// journal and the report.
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// Stable machine-readable code: a [`SimError::code`] or
+    /// [`PANIC_CODE`].
+    pub code: String,
+    /// One-line human-readable description.
+    pub message: String,
+    /// Crash-dump replay artifact, when one was written.
+    pub artifact: Option<PathBuf>,
+    /// Whether the retry policy applies (see [`SimError::is_transient`];
+    /// panics never are).
+    pub transient: bool,
+}
+
+impl CellError {
+    fn from_sim(e: &SimError) -> Self {
+        Self {
+            code: e.code().to_string(),
+            message: e.to_string().lines().next().unwrap_or("simulation failed").to_string(),
+            artifact: e.artifact().map(Path::to_path_buf),
+            transient: e.is_transient(),
+        }
+    }
+}
+
+/// Terminal state of one cell after the sweep.
+#[derive(Debug, Clone)]
+pub enum CellState {
+    /// Artifact produced (or reused). `attempts` counts executions of
+    /// this cell itself (0 when deduped or cached).
+    Done {
+        /// Attempts this cell consumed.
+        attempts: u32,
+        /// Path of the metrics artifact.
+        artifact: PathBuf,
+        /// A pre-existing artifact with this run id was reused.
+        cached: bool,
+        /// The cell shares the artifact of this earlier identical cell.
+        dedup_of: Option<usize>,
+    },
+    /// Quarantined with a typed error after `attempts` executions.
+    Quarantined {
+        /// Attempts this cell consumed before quarantine.
+        attempts: u32,
+        /// The final error.
+        error: CellError,
+    },
+}
+
+impl CellState {
+    /// Short status word (`done` / `quarantined`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            CellState::Done { .. } => "done",
+            CellState::Quarantined { .. } => "quarantined",
+        }
+    }
+}
+
+/// Result of [`run_sweep`] / [`resume_sweep`].
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The expanded cells, in order.
+    pub cells: Vec<SweepCell>,
+    /// Terminal state of each cell (parallel to `cells`).
+    pub states: Vec<CellState>,
+    /// Cells this invocation skipped because the journal already showed
+    /// them terminal (resume only).
+    pub skipped: usize,
+}
+
+impl SweepOutcome {
+    /// True when every cell produced its artifact.
+    pub fn ok(&self) -> bool {
+        self.states.iter().all(|s| matches!(s, CellState::Done { .. }))
+    }
+
+    /// The quarantined cells, in order.
+    pub fn quarantined(&self) -> Vec<(&SweepCell, &CellError)> {
+        self.cells
+            .iter()
+            .zip(&self.states)
+            .filter_map(|(c, s)| match s {
+                CellState::Quarantined { error, .. } => Some((c, error)),
+                CellState::Done { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Canonical `(index, status)` set for replay-equivalence checks:
+    /// quarantined cells carry their E-code.
+    pub fn state_set(&self) -> Vec<(usize, String)> {
+        self.cells
+            .iter()
+            .zip(&self.states)
+            .map(|(c, s)| match s {
+                CellState::Done { .. } => (c.index, "done".to_string()),
+                CellState::Quarantined { error, .. } => {
+                    (c.index, format!("quarantined:{}", error.code))
+                }
+            })
+            .collect()
+    }
+
+    /// The partial matrix report: summary, per-cell table, and — when
+    /// cells were lost — a "Failed cells" section naming each
+    /// quarantined cell and its E-code.
+    pub fn report_markdown(&self) -> String {
+        let done = self.states.iter().filter(|s| matches!(s, CellState::Done { .. })).count();
+        let failed = self.quarantined();
+        let mut md = String::from("# Sweep report\n\n");
+        md.push_str(&format!(
+            "{} cells: {} done, {} quarantined{}\n\n",
+            self.cells.len(),
+            done,
+            failed.len(),
+            if failed.is_empty() { " — complete" } else { " — PARTIAL" },
+        ));
+        md.push_str("| cell | name | run_id | status | attempts | detail |\n");
+        md.push_str("|-----:|------|--------|--------|---------:|--------|\n");
+        for (c, s) in self.cells.iter().zip(&self.states) {
+            let (status, attempts, detail) = match s {
+                CellState::Done { attempts, cached, dedup_of, .. } => (
+                    "done",
+                    *attempts,
+                    match (dedup_of, cached) {
+                        (Some(i), _) => format!("dedup of cell {i}"),
+                        (None, true) => "cached artifact".to_string(),
+                        (None, false) => String::new(),
+                    },
+                ),
+                CellState::Quarantined { attempts, error } => {
+                    ("quarantined", *attempts, error.code.clone())
+                }
+            };
+            md.push_str(&format!(
+                "| {} | {} | `{}` | {} | {} | {} |\n",
+                c.index,
+                c.name(),
+                c.manifest.run_id,
+                status,
+                attempts,
+                detail
+            ));
+        }
+        if !failed.is_empty() {
+            md.push_str("\n## Failed cells\n\n");
+            for (c, e) in &failed {
+                md.push_str(&format!(
+                    "- cell {} `{}` (run `{}`): **{}** — {}{}\n",
+                    c.index,
+                    c.name(),
+                    c.manifest.run_id,
+                    e.code,
+                    e.message,
+                    e.artifact
+                        .as_ref()
+                        .map(|p| format!(" (crash dump: `{}`)", p.display()))
+                        .unwrap_or_default(),
+                ));
+            }
+        }
+        md
+    }
+}
+
+/// Append-only NDJSON journal with per-line flush, shared by the worker
+/// pool behind a mutex. Lines are self-describing (`schema` + `event`)
+/// so a torn trailing line from a `kill -9` is detectable and ignorable
+/// on resume.
+struct Journal {
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    fn create(path: &Path) -> Result<Self, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        Ok(Self { file: Mutex::new(file) })
+    }
+
+    fn append(path: &Path) -> Result<Self, String> {
+        // Terminate a torn trailing line (kill -9 mid-write) before
+        // appending, so the first new event starts on its own line.
+        let torn = std::fs::read(path)
+            .map(|b| !b.is_empty() && *b.last().unwrap() != b'\n')
+            .unwrap_or(false);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot append to journal {}: {e}", path.display()))?;
+        if torn {
+            let _ = file.write_all(b"\n");
+        }
+        Ok(Self { file: Mutex::new(file) })
+    }
+
+    fn emit(&self, v: Value) {
+        let mut line = String::new();
+        v.render_compact_to(&mut line);
+        line.push('\n');
+        let mut f = self.file.lock().unwrap();
+        // Failure to journal must not kill the sweep; the journal is
+        // the recovery aid, not the result.
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+fn event(kind: &str) -> Value {
+    let mut j = Value::object();
+    j.set("schema", Value::string(SWEEP_SCHEMA));
+    j.set("event", Value::string(kind));
+    j
+}
+
+fn opt_path(p: &Option<PathBuf>) -> Value {
+    match p {
+        Some(p) => Value::string(&p.display().to_string()),
+        None => Value::Null,
+    }
+}
+
+fn start_event(spec: &SweepSpec, opts: &SweepOptions, cells: &[SweepCell]) -> Value {
+    let mut j = event("start");
+    j.set("tool", Value::string("cmpsim"));
+    j.set("tool_version", Value::string(env!("CARGO_PKG_VERSION")));
+    let mut canon = String::new();
+    config_to_json(&spec.base).render_to(&mut canon);
+    j.set(
+        "config_digest",
+        Value::string(&crate::manifest::hex16(crate::manifest::digest(canon.as_bytes()))),
+    );
+    j.set("config", config_to_json(&spec.base));
+    j.set(
+        "protocols",
+        Value::Arr(spec.protocols.iter().map(|p| Value::string(p.name())).collect()),
+    );
+    j.set(
+        "benchmarks",
+        Value::Arr(spec.benchmarks.iter().map(|b| Value::string(b.name())).collect()),
+    );
+    j.set("seeds", Value::Arr(spec.seeds.iter().map(|&s| Value::uint(s)).collect()));
+    j.set(
+        "plans",
+        Value::Arr(
+            spec.plans
+                .iter()
+                .map(|p| p.as_ref().map_or(Value::Null, |p| Value::string(&p.spec())))
+                .collect(),
+        ),
+    );
+    j.set("out_dir", Value::string(&opts.out_dir.display().to_string()));
+    j.set(
+        "deadline_ms",
+        opts.deadline_ms.map_or(Value::Null, Value::uint),
+    );
+    j.set("retries", Value::uint(opts.retries as u64));
+    j.set("backoff_ms", Value::uint(opts.backoff_ms));
+    j.set("snapshot_dir", opt_path(&opts.snapshot_dir));
+    j.set(
+        "injections",
+        Value::Arr(opts.injections.iter().map(|i| Value::string(&i.spec())).collect()),
+    );
+    j.set("cells", Value::uint(cells.len() as u64));
+    j
+}
+
+/// Runs a fresh sweep: expands the spec, writes the journal `start` and
+/// per-cell `queued` lines, executes every unique cell on the worker
+/// pool and returns the full outcome (including quarantined cells — the
+/// caller decides the exit code from [`SweepOutcome::ok`]).
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
+    let cells = spec.expand();
+    if cells.is_empty() {
+        return Err("sweep expands to zero cells".to_string());
+    }
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+    let journal = Journal::create(&opts.journal)?;
+    journal.emit(start_event(spec, opts, &cells));
+    for c in &cells {
+        let mut j = event("queued");
+        j.set("cell", Value::uint(c.index as u64));
+        j.set("name", Value::string(&c.name()));
+        j.set("run_id", Value::string(&c.manifest.run_id));
+        j.set("dedup_of", c.dedup_of.map_or(Value::Null, |i| Value::uint(i as u64)));
+        journal.emit(j);
+    }
+    execute(cells, HashMap::new(), opts, &journal)
+}
+
+/// Resumes a sweep from its journal after a crash or kill: cells whose
+/// terminal state (with an existing artifact) is already journaled are
+/// skipped; queued and in-flight cells are re-dispatched. New events
+/// append to the same journal. `threads` overrides the worker-pool
+/// size (a host-side knob; everything else comes from the journal).
+pub fn resume_sweep(journal_path: &Path, threads: Option<usize>) -> Result<SweepOutcome, String> {
+    let text = std::fs::read_to_string(journal_path)
+        .map_err(|e| format!("cannot read journal {}: {e}", journal_path.display()))?;
+    let parsed = parse_journal(&text)?;
+    let mut opts = parsed.options;
+    opts.journal = journal_path.to_path_buf();
+    if threads.is_some() {
+        opts.threads = threads;
+    }
+    let cells = parsed.spec.expand();
+    if cells.len() != parsed.cell_count {
+        return Err(format!(
+            "journal names {} cells but the spec expands to {} — journal corrupted?",
+            parsed.cell_count,
+            cells.len()
+        ));
+    }
+    // Trust `done` states only when the artifact is actually present;
+    // a missing file (deleted out-of-band) re-dispatches the cell.
+    let mut terminal = parsed.terminal;
+    terminal.retain(|&i, s| match s {
+        CellState::Done { artifact, .. } => artifact.is_file() && i < cells.len(),
+        CellState::Quarantined { .. } => i < cells.len(),
+    });
+    let journal = Journal::append(journal_path)?;
+    let mut j = event("resume");
+    j.set("skipped", Value::uint(terminal.len() as u64));
+    journal.emit(j);
+    execute(cells, terminal, &opts, &journal)
+}
+
+/// Everything [`resume_sweep`] recovers from a journal.
+pub struct JournalState {
+    /// The sweep spec, reconstructed from the `start` line.
+    pub spec: SweepSpec,
+    /// The execution options, reconstructed from the `start` line.
+    pub options: SweepOptions,
+    /// Cell count recorded at start (consistency check).
+    pub cell_count: usize,
+    /// Last journaled *terminal* state per cell index.
+    pub terminal: HashMap<usize, CellState>,
+}
+
+/// Parses a sweep journal. Unparsable lines (torn tail after `kill -9`)
+/// are skipped; only the `start` line is mandatory.
+pub fn parse_journal(text: &str) -> Result<JournalState, String> {
+    let mut lines = text.lines();
+    let start = loop {
+        let line = lines.next().ok_or("journal has no start event")?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("bad journal start line: {e}"))?;
+        if v.field("schema")?.as_str()? != SWEEP_SCHEMA {
+            return Err(format!(
+                "not a {SWEEP_SCHEMA} journal (schema {:?})",
+                v.field("schema")?.as_str()?
+            ));
+        }
+        if v.field("event")?.as_str()? != "start" {
+            return Err("journal does not begin with a start event".to_string());
+        }
+        break v;
+    };
+
+    let base = config_from_json(start.field("config")?)?;
+    let str_list = |field: &str| -> Result<Vec<String>, String> {
+        match start.field(field)? {
+            Value::Arr(items) => {
+                items.iter().map(|v| Ok(v.as_str()?.to_string())).collect()
+            }
+            _ => Err(format!("journal field {field:?} is not an array")),
+        }
+    };
+    let protocols = str_list("protocols")?
+        .iter()
+        .map(|n| protocol_from_name(n))
+        .collect::<Result<Vec<_>, _>>()?;
+    let benchmarks = str_list("benchmarks")?
+        .iter()
+        .map(|n| benchmark_from_name(n))
+        .collect::<Result<Vec<_>, _>>()?;
+    let seeds = match start.field("seeds")? {
+        Value::Arr(items) => items.iter().map(|v| v.as_u64()).collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("journal field \"seeds\" is not an array".to_string()),
+    };
+    let plans = match start.field("plans")? {
+        Value::Arr(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::Null => Ok(None),
+                other => FaultPlan::parse(other.as_str()?).map(Some),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("journal field \"plans\" is not an array".to_string()),
+    };
+    let spec = SweepSpec { protocols, benchmarks, seeds, plans, base };
+
+    let injections = str_list("injections")?
+        .iter()
+        .map(|s| Injection::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let options = SweepOptions {
+        threads: None,
+        out_dir: PathBuf::from(start.field("out_dir")?.as_str()?),
+        journal: PathBuf::new(), // caller fills in
+        deadline_ms: match start.field("deadline_ms")? {
+            Value::Null => None,
+            other => Some(other.as_u64()?),
+        },
+        retries: start.field("retries")?.as_u64()? as u32,
+        backoff_ms: start.field("backoff_ms")?.as_u64()?,
+        snapshot_dir: match start.field("snapshot_dir")? {
+            Value::Null => None,
+            other => Some(PathBuf::from(other.as_str()?)),
+        },
+        injections,
+    };
+    let cell_count = start.field("cells")?.as_u64()? as usize;
+
+    let mut terminal: HashMap<usize, CellState> = HashMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A torn or foreign line is skipped, not fatal: the journal is
+        // append-only and the writer can die mid-line.
+        let Ok(v) = Value::parse(line) else { continue };
+        let (Ok(ev), Ok(cell)) = (
+            v.field("event").and_then(|e| e.as_str()),
+            v.field("cell").and_then(|c| c.as_u64()).map(|c| c as usize),
+        ) else {
+            continue;
+        };
+        let attempts =
+            v.field("attempt").and_then(|a| a.as_u64()).unwrap_or(0) as u32;
+        match ev {
+            "done" => {
+                let artifact = v
+                    .field("artifact")
+                    .and_then(|a| a.as_str().map(PathBuf::from))
+                    .unwrap_or_default();
+                let cached =
+                    v.field("cached").and_then(|c| c.as_bool()).unwrap_or(false);
+                let dedup_of = v
+                    .field("dedup_of")
+                    .ok()
+                    .and_then(|d| d.as_u64().ok())
+                    .map(|d| d as usize);
+                terminal.insert(
+                    cell,
+                    CellState::Done { attempts, artifact, cached, dedup_of },
+                );
+            }
+            "quarantined" => {
+                let error = CellError {
+                    code: v
+                        .field("code")
+                        .and_then(|c| c.as_str().map(str::to_string))
+                        .unwrap_or_else(|_| "E-UNKNOWN".to_string()),
+                    message: v
+                        .field("error")
+                        .and_then(|m| m.as_str().map(str::to_string))
+                        .unwrap_or_default(),
+                    artifact: v
+                        .field("artifact")
+                        .ok()
+                        .and_then(|a| a.as_str().ok())
+                        .map(PathBuf::from),
+                    transient: false,
+                };
+                terminal.insert(cell, CellState::Quarantined { attempts, error });
+            }
+            // queued / running / retrying are non-terminal: a crash
+            // mid-cell re-dispatches it.
+            _ => {}
+        }
+    }
+    Ok(JournalState { spec, options, cell_count, terminal })
+}
+
+fn protocol_from_name(name: &str) -> Result<ProtocolKind, String> {
+    ProtocolKind::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown protocol {name:?} in journal"))
+}
+
+fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name:?} in journal"))
+}
+
+/// The worker-pool execution core shared by fresh runs and resumes.
+fn execute(
+    cells: Vec<SweepCell>,
+    terminal: HashMap<usize, CellState>,
+    opts: &SweepOptions,
+    journal: &Journal,
+) -> Result<SweepOutcome, String> {
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+    let store = match &opts.snapshot_dir {
+        Some(dir) => SnapshotStore::with_dir(dir).map_err(|e| e.to_string())?,
+        None => SnapshotStore::in_memory(),
+    };
+    let skipped = terminal.len();
+    let states: Mutex<Vec<Option<CellState>>> = Mutex::new(vec![None; cells.len()]);
+    for (&i, s) in &terminal {
+        states.lock().unwrap()[i] = Some(s.clone());
+    }
+
+    // Only primaries dispatch; dedups inherit their primary's outcome.
+    let primaries: Vec<usize> = cells
+        .iter()
+        .filter(|c| c.dedup_of.is_none() && !terminal.contains_key(&c.index))
+        .map(|c| c.index)
+        .collect();
+
+    let threads = opts.threads.unwrap_or_else(num_threads);
+    let results = try_par_map_with_threads(&primaries, threads, |&i| {
+        let state = run_cell(&cells[i], opts, &store, journal);
+        journal_terminal(journal, &cells[i], &state);
+        states.lock().unwrap()[i] = Some(state);
+    });
+    // A panic in the orchestration code itself (not the cell — those
+    // are caught in run_cell) still quarantines only its cell.
+    for (slot, r) in primaries.iter().zip(&results) {
+        if let Err(p) = r {
+            let state = CellState::Quarantined {
+                attempts: 0,
+                error: CellError {
+                    code: PANIC_CODE.to_string(),
+                    message: p.message.clone(),
+                    artifact: None,
+                    transient: false,
+                },
+            };
+            journal_terminal(journal, &cells[*slot], &state);
+            states.lock().unwrap()[*slot] = Some(state);
+        }
+    }
+
+    // Dedup cells inherit their primary's terminal state.
+    let mut states = states.into_inner().unwrap();
+    for c in &cells {
+        if states[c.index].is_some() {
+            continue;
+        }
+        let Some(primary) = c.dedup_of else {
+            return Err(format!("cell {} was never dispatched (orchestrator bug)", c.index));
+        };
+        let state = match &states[primary] {
+            Some(CellState::Done { artifact, .. }) => CellState::Done {
+                attempts: 0,
+                artifact: artifact.clone(),
+                cached: false,
+                dedup_of: Some(primary),
+            },
+            Some(CellState::Quarantined { error, .. }) => CellState::Quarantined {
+                attempts: 0,
+                error: error.clone(),
+            },
+            None => {
+                return Err(format!(
+                    "cell {} dedups to cell {primary}, which never resolved",
+                    c.index
+                ))
+            }
+        };
+        journal_terminal(journal, c, &state);
+        states[c.index] = Some(state);
+    }
+
+    let states: Vec<CellState> =
+        states.into_iter().map(|s| s.expect("every cell resolved above")).collect();
+    let outcome = SweepOutcome { cells, states, skipped };
+    let mut fin = event("finish");
+    fin.set(
+        "completed",
+        Value::uint(
+            outcome.states.iter().filter(|s| matches!(s, CellState::Done { .. })).count() as u64,
+        ),
+    );
+    fin.set("quarantined", Value::uint(outcome.quarantined().len() as u64));
+    fin.set("ok", Value::boolean(outcome.ok()));
+    journal.emit(fin);
+    Ok(outcome)
+}
+
+fn journal_terminal(journal: &Journal, cell: &SweepCell, state: &CellState) {
+    match state {
+        CellState::Done { attempts, artifact, cached, dedup_of } => {
+            let mut j = event("done");
+            j.set("cell", Value::uint(cell.index as u64));
+            j.set("attempt", Value::uint(*attempts as u64));
+            j.set("run_id", Value::string(&cell.manifest.run_id));
+            j.set("artifact", Value::string(&artifact.display().to_string()));
+            j.set("cached", Value::boolean(*cached));
+            j.set("dedup_of", dedup_of.map_or(Value::Null, |i| Value::uint(i as u64)));
+            journal.emit(j);
+        }
+        CellState::Quarantined { attempts, error } => {
+            let mut j = event("quarantined");
+            j.set("cell", Value::uint(cell.index as u64));
+            j.set("attempt", Value::uint(*attempts as u64));
+            j.set("run_id", Value::string(&cell.manifest.run_id));
+            j.set("code", Value::string(&error.code));
+            j.set("error", Value::string(&error.message));
+            j.set(
+                "artifact",
+                error
+                    .artifact
+                    .as_ref()
+                    .map_or(Value::Null, |p| Value::string(&p.display().to_string())),
+            );
+            journal.emit(j);
+        }
+    }
+}
+
+/// Runs one primary cell to a terminal state: retry loop, deadline,
+/// injections, artifact write. Never panics (the cell body is caught).
+fn run_cell(
+    cell: &SweepCell,
+    opts: &SweepOptions,
+    store: &SnapshotStore,
+    journal: &Journal,
+) -> CellState {
+    let artifact_path = opts.out_dir.join(cell.artifact_name());
+    // Run-id ledger dedupe across invocations: an artifact produced by
+    // a previous sweep for this exact run id is reused, not recomputed.
+    if artifact_is_valid(&artifact_path, &cell.manifest.run_id) {
+        return CellState::Done { attempts: 0, artifact: artifact_path, cached: true, dedup_of: None };
+    }
+
+    let injections: Vec<&Injection> =
+        opts.injections.iter().filter(|i| i.cell() == cell.index).collect();
+    let max_attempts = opts.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut j = event("running");
+        j.set("cell", Value::uint(cell.index as u64));
+        j.set("attempt", Value::uint(attempt as u64));
+        journal.emit(j);
+
+        let error = match attempt_cell(cell, &injections, opts, store, attempt) {
+            Ok(body) => match write_artifact(&artifact_path, &body) {
+                Ok(()) => {
+                    return CellState::Done {
+                        attempts: attempt,
+                        artifact: artifact_path,
+                        cached: false,
+                        dedup_of: None,
+                    }
+                }
+                Err(e) => CellError {
+                    code: "E-IO".to_string(),
+                    message: e,
+                    artifact: None,
+                    transient: false,
+                },
+            },
+            Err(e) => e,
+        };
+
+        if error.transient && attempt < max_attempts {
+            let backoff = backoff_ms(opts.backoff_ms, cell, attempt);
+            let mut j = event("retrying");
+            j.set("cell", Value::uint(cell.index as u64));
+            j.set("attempt", Value::uint(attempt as u64));
+            j.set("code", Value::string(&error.code));
+            j.set("error", Value::string(&error.message));
+            j.set("backoff_ms", Value::uint(backoff));
+            journal.emit(j);
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+            continue;
+        }
+        return CellState::Quarantined { attempts: attempt, error };
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base * 2^(k-1)` plus
+/// a cell/attempt-keyed pseudo-random extra in `[0, base)`, capped at
+/// 5 s so a misconfigured base cannot park a worker for minutes.
+fn backoff_ms(base: u64, cell: &SweepCell, attempt: u32) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let exp = base.saturating_mul(1u64 << (attempt - 1).min(12));
+    let mut state = cell.cfg.seed ^ (cell.index as u64) << 20 ^ attempt as u64;
+    let jitter = splitmix64(&mut state) % base;
+    exp.saturating_add(jitter).min(5_000)
+}
+
+/// One attempt of one cell: applies injections, arms the per-cell
+/// deadline, and catches panics from the simulation body.
+fn attempt_cell(
+    cell: &SweepCell,
+    injections: &[&Injection],
+    opts: &SweepOptions,
+    store: &SnapshotStore,
+    attempt: u32,
+) -> Result<String, CellError> {
+    // The cell-level clock starts before any injected hang so setup
+    // time counts against the deadline too.
+    let wall = opts.deadline_ms.map(WallDeadline::new);
+
+    for inj in injections {
+        match inj {
+            Injection::Panic { .. } => {
+                // Caught below like any real worker panic.
+            }
+            Injection::Hang { .. } => {
+                let ms = opts.deadline_ms.map_or(200, |d| d.saturating_add(50));
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Injection::Flaky { failures, .. } => {
+                if attempt <= *failures {
+                    return Err(CellError {
+                        code: "E-FAULT".to_string(),
+                        message: format!(
+                            "injected transient fault (attempt {attempt} of {failures} failing)"
+                        ),
+                        artifact: None,
+                        transient: true,
+                    });
+                }
+            }
+        }
+    }
+
+    // Layered deadline: whatever budget the hang (or slow setup) left
+    // becomes the event loop's wall budget. An already-expired budget
+    // times out here without simulating at all.
+    let mut cfg = cell.cfg.clone();
+    if let Some(w) = &wall {
+        let remaining = w.budget_ms().saturating_sub(w.elapsed_ms());
+        if remaining == 0 {
+            return Err(CellError {
+                code: "E-TIMEOUT".to_string(),
+                message: format!(
+                    "cell exceeded its {} ms deadline before the event loop started",
+                    w.budget_ms()
+                ),
+                artifact: None,
+                transient: true,
+            });
+        }
+        cfg.wall_deadline_ms = Some(match cfg.wall_deadline_ms {
+            Some(own) => own.min(remaining),
+            None => remaining,
+        });
+    }
+
+    let panics = injections.iter().any(|i| matches!(i, Injection::Panic { .. }));
+    let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+        if panics {
+            panic!("injected panic in cell {}", cell.index);
+        }
+        run_benchmark_with_store(cell.protocol, cell.benchmark, &cfg, Some(store))
+    }));
+    match caught {
+        Ok(Ok(result)) => Ok(result.metrics_json()),
+        Ok(Err(e)) => Err(CellError::from_sim(&e)),
+        Err(payload) => Err(CellError {
+            code: PANIC_CODE.to_string(),
+            message: panic_message(payload),
+            artifact: None,
+            transient: false,
+        }),
+    }
+}
+
+/// True when `path` holds a parseable artifact stamped with `run_id`
+/// (the ledger-reuse check; anything else re-runs the cell).
+fn artifact_is_valid(path: &Path, run_id: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else { return false };
+    let Ok(doc) = Value::parse(&text) else { return false };
+    crate::manifest::manifest_of(&doc).is_some_and(|m| m.run_id == run_id)
+}
+
+/// Atomic artifact write: temp file + rename, so a killed sweep never
+/// leaves a torn artifact that a resume would mistake for a result.
+fn write_artifact(path: &Path, body: &str) -> Result<(), String> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, body).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            protocols: vec![ProtocolKind::Directory, ProtocolKind::DiCo],
+            benchmarks: vec![Benchmark::Radix],
+            seeds: vec![7, 8],
+            plans: vec![None],
+            base: SystemConfig::smoke(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_indexed() {
+        let a = tiny_spec().expand();
+        let b = tiny_spec().expand();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.manifest.run_id, y.manifest.run_id);
+            assert_eq!(x.name(), y.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_cells_dedup_by_run_id() {
+        let mut spec = tiny_spec();
+        spec.seeds = vec![7, 7];
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[2].dedup_of, Some(0));
+        assert_eq!(cells[3].dedup_of, Some(1));
+    }
+
+    #[test]
+    fn injection_specs_round_trip() {
+        for spec in ["panic@3", "hang@0", "flaky@2:4"] {
+            assert_eq!(Injection::parse(spec).unwrap().spec(), spec);
+        }
+        assert_eq!(Injection::parse("flaky@2").unwrap(), Injection::Flaky { cell: 2, failures: 1 });
+        assert!(Injection::parse("explode@1").is_err());
+        assert!(Injection::parse("panic").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cell = &tiny_spec().expand()[0];
+        let b1 = backoff_ms(100, cell, 1);
+        let b2 = backoff_ms(100, cell, 2);
+        assert!((100..200).contains(&b1), "{b1}");
+        assert!((200..300).contains(&b2), "{b2}");
+        assert_eq!(backoff_ms(100, cell, 60), 5_000);
+        assert_eq!(backoff_ms(0, cell, 3), 0);
+        // Deterministic: same inputs, same jitter.
+        assert_eq!(b1, backoff_ms(100, cell, 1));
+    }
+}

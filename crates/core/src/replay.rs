@@ -86,7 +86,7 @@ impl ReplayArtifact {
     /// Directory artifacts are written to: `$CMPSIM_DUMP_DIR` if set,
     /// otherwise the system temp directory.
     pub fn dump_dir() -> PathBuf {
-        std::env::var_os("CMPSIM_DUMP_DIR")
+        cmpsim_engine::env::string(cmpsim_engine::env::DUMP_DIR)
             .map(PathBuf::from)
             .unwrap_or_else(std::env::temp_dir)
     }
@@ -292,7 +292,7 @@ fn fault_plan_from_json(v: &Value) -> Result<FaultPlan, String> {
     })
 }
 
-fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
+pub(crate) fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
     let chip = v.field("chip")?;
     let areas = chip.field("areas")?;
     let lat = chip.field("lat")?;
@@ -363,6 +363,9 @@ fn config_from_json(v: &Value) -> Result<SystemConfig, String> {
         sample_interval: None,
         attribution: false,
         fault_plan,
+        // Host-side like the observability knobs: replays run without a
+        // wall deadline (a timeout would not reproduce anyway).
+        wall_deadline_ms: None,
     })
 }
 
@@ -505,6 +508,41 @@ impl Value {
                     out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
                 }
                 let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Renders the value into `out` on a single line (no indentation)
+    /// — the form NDJSON journals require, one document per line.
+    pub fn render_compact_to(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => render_string(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_compact_to(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, k);
+                    out.push(':');
+                    v.render_compact_to(out);
+                }
+                out.push('}');
             }
         }
     }

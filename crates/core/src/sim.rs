@@ -5,7 +5,7 @@ use crate::attr::{classify, MsgClass, TxAttribution};
 use crate::config::SystemConfig;
 use crate::error::{
     CoreStallState, FaultAbort, FaultContext, HotBlock, InFlightMsg, InvariantReport,
-    ProtocolFault, SimError, StallReason, StallReport,
+    ProtocolFault, SimError, StallReason, StallReport, TimeoutReport,
 };
 use crate::interval::{CumSnapshot, IntervalSampler};
 use crate::replay::ReplayArtifact;
@@ -16,7 +16,7 @@ use cmpsim_engine::par::{num_threads, par_map_with_threads};
 use cmpsim_engine::rng::splitmix64;
 use cmpsim_engine::{
     Cycle, EventCounts, EventQueue, FaultDecision, FaultEngine, FaultPlan, FxHashMap, FxHashSet,
-    HostProfiler, SimRng, Snap, SnapError, SnapReader, SnapWriter,
+    HostProfiler, SimRng, Snap, SnapError, SnapReader, SnapWriter, WallDeadline,
 };
 use cmpsim_noc::Mesh;
 use cmpsim_protocols::arin::Arin;
@@ -261,6 +261,10 @@ pub struct CmpSimulator {
     /// time (an env lookup per delivered message would dominate the
     /// event loop).
     trace_block: Option<u64>,
+    /// Host wall-clock deadline (from `cfg.wall_deadline_ms`), armed at
+    /// the start of each public run entry point. Host-side only: never
+    /// snapshotted, never part of deterministic results.
+    wall: Option<WallDeadline>,
     /// Memory controller availability.
     ctrl_free: Vec<Cycle>,
     /// Warm-up bookkeeping.
@@ -340,9 +344,11 @@ impl CmpSimulator {
             rng,
             fifo: FxHashMap::default(),
             ctx_pool: Ctx::default(),
-            trace_block: std::env::var("CMPSIM_TRACE_BLOCK")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok()),
+            trace_block: cmpsim_engine::env::parsed_or_warn(
+                cmpsim_engine::env::TRACE_BLOCK,
+                "a block address (u64)",
+            ),
+            wall: None,
             ctrl_free: vec![0; cfg.mem_controllers],
             warmed_up: false,
             measure_start: 0,
@@ -943,6 +949,20 @@ impl CmpSimulator {
         }))
     }
 
+    /// Builds the structured dump for a wall-clock deadline abort.
+    fn timeout_error(&self, now: Cycle) -> SimError {
+        let w = self.wall.as_ref().expect("timeout fired without an armed deadline");
+        SimError::Timeout(Box::new(TimeoutReport {
+            budget_ms: w.budget_ms(),
+            elapsed_ms: w.elapsed_ms(),
+            cycle: now,
+            events: self.events,
+            refs_done: self.refs_total,
+            fault: self.faults.as_ref().map(FaultState::context),
+            artifact: None,
+        }))
+    }
+
     fn protocol_fault(&self, now: Cycle, error: ProtoError) -> SimError {
         SimError::Protocol(Box::new(ProtocolFault {
             cycle: now,
@@ -1086,6 +1106,13 @@ impl CmpSimulator {
         }
     }
 
+    /// (Re-)arms the host wall-clock deadline from the configuration.
+    /// Called at each public run entry point so a forked or restored
+    /// simulator gets a fresh budget, not the parent's leftovers.
+    fn arm_deadline(&mut self) {
+        self.wall = self.cfg.wall_deadline_ms.map(WallDeadline::new);
+    }
+
     /// Seeds the initial per-tile core wakeups of a fresh run.
     fn seed_initial_events(&mut self) {
         for t in 0..self.cores.len() {
@@ -1120,6 +1147,12 @@ impl CmpSimulator {
                         last_progress: self.last_progress,
                     },
                 ));
+            }
+            // Host wall-clock deadline, layered on the simulated-time
+            // watchdog above. The poll is a counter+mask in the common
+            // case; the host clock is read once per 4096 events.
+            if self.wall.as_mut().is_some_and(|w| w.poll()) {
+                return Err(self.timeout_error(now));
             }
             match ev {
                 Ev::CoreResume(tile) => self.core_resume(now, tile)?,
@@ -1184,6 +1217,7 @@ impl CmpSimulator {
     /// spans in the host profile.
     pub fn run(mut self) -> Result<RunResult, SimError> {
         let mut prof = HostProfiler::new();
+        self.arm_deadline();
         self.seed_initial_events();
         let t = std::time::Instant::now();
         let exit = self.run_phase(true);
@@ -1199,6 +1233,7 @@ impl CmpSimulator {
     /// follow with [`Self::save_snapshot`], [`Self::fork`], or
     /// [`Self::resume`].
     pub fn warm_up(&mut self) -> Result<bool, SimError> {
+        self.arm_deadline();
         self.seed_initial_events();
         Ok(matches!(self.run_phase(true)?, PhaseExit::Warmed))
     }
@@ -1206,7 +1241,8 @@ impl CmpSimulator {
     /// Completes a simulation from its current state: a warmed
     /// simulator ([`Self::warm_up`]), a restored snapshot
     /// ([`Self::restore_snapshot`]), or a fork ([`Self::fork`]).
-    pub fn resume(self) -> Result<RunResult, SimError> {
+    pub fn resume(mut self) -> Result<RunResult, SimError> {
+        self.arm_deadline();
         self.run_measure(HostProfiler::new())
     }
 
@@ -1466,6 +1502,7 @@ impl CmpSimulator {
             fifo: self.fifo.clone(),
             ctx_pool: Ctx::default(),
             trace_block: self.trace_block,
+            wall: None,
             ctrl_free: self.ctrl_free.clone(),
             warmed_up: self.warmed_up,
             measure_start: self.measure_start,
@@ -1561,6 +1598,12 @@ pub fn run_benchmark_with_store(
         None => CmpSimulator::new(kind, benchmark, cfg).run(),
     };
     result.map_err(|mut e| {
+        // A wall-clock timeout is a host-side condition: replaying the
+        // cell would not reproduce it (the artifact config carries no
+        // deadline, deliberately), so no crash dump is written.
+        if matches!(e, SimError::Timeout(_)) {
+            return e;
+        }
         let artifact = ReplayArtifact::new(
             kind,
             benchmark,

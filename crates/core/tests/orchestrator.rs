@@ -1,0 +1,262 @@
+//! Integration tests for the resilient sweep orchestrator: blast-radius
+//! containment (panic / hang / transient-fault injections), the
+//! crash-resumable NDJSON journal, and quarantined-cell crash dumps
+//! round-tripping through `cmpsim-cli replay`.
+
+use cmpsim::{
+    parse_journal, resume_sweep, run_sweep, Benchmark, CellState, Injection, ProtocolKind,
+    SweepOptions, SweepSpec, SystemConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-orch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        protocols: vec![ProtocolKind::Directory, ProtocolKind::DiCo],
+        benchmarks: vec![Benchmark::Radix, Benchmark::Lu],
+        seeds: vec![],
+        plans: vec![],
+        base: SystemConfig::smoke(),
+    }
+}
+
+fn options(dir: &Path) -> SweepOptions {
+    SweepOptions {
+        threads: Some(2),
+        out_dir: dir.to_path_buf(),
+        journal: dir.join("sweep.ndjson"),
+        backoff_ms: 5,
+        ..SweepOptions::default()
+    }
+}
+
+/// The ISSUE acceptance scenario: a sweep with an injected panic, an
+/// injected hang and a transient fault completes every other cell,
+/// retries the transient one to success, and quarantines the two
+/// unrecoverable ones with typed E-codes in journal and report.
+#[test]
+fn acceptance_panic_hang_flaky() {
+    let dir = temp_dir("accept");
+    let mut opts = options(&dir);
+    opts.deadline_ms = Some(2_000);
+    opts.retries = 1;
+    opts.injections = vec![
+        Injection::Panic { cell: 0 },
+        Injection::Hang { cell: 1 },
+        Injection::Flaky { cell: 2, failures: 1 },
+    ];
+    let outcome = run_sweep(&small_spec(), &opts).unwrap();
+    assert!(!outcome.ok());
+    assert_eq!(outcome.cells.len(), 4);
+
+    match &outcome.states[0] {
+        CellState::Quarantined { attempts, error } => {
+            assert_eq!(error.code, "E-PANIC");
+            assert_eq!(*attempts, 1, "panics are deterministic: no retry");
+        }
+        other => panic!("cell 0 should be quarantined, got {other:?}"),
+    }
+    match &outcome.states[1] {
+        CellState::Quarantined { attempts, error } => {
+            assert_eq!(error.code, "E-TIMEOUT");
+            assert_eq!(*attempts, 2, "timeouts are transient: one retry");
+        }
+        other => panic!("cell 1 should be quarantined, got {other:?}"),
+    }
+    match &outcome.states[2] {
+        CellState::Done { attempts, artifact, .. } => {
+            assert_eq!(*attempts, 2, "flaky cell succeeds on the retry");
+            assert!(artifact.is_file());
+        }
+        other => panic!("cell 2 should be done, got {other:?}"),
+    }
+    match &outcome.states[3] {
+        CellState::Done { attempts, .. } => assert_eq!(*attempts, 1),
+        other => panic!("cell 3 should be done, got {other:?}"),
+    }
+
+    let report = outcome.report_markdown();
+    assert!(report.contains("## Failed cells"), "{report}");
+    assert!(report.contains("E-PANIC"), "{report}");
+    assert!(report.contains("E-TIMEOUT"), "{report}");
+    assert!(report.contains("PARTIAL"), "{report}");
+
+    let journal = std::fs::read_to_string(&opts.journal).unwrap();
+    assert!(journal.contains("\"event\":\"retrying\""), "{journal}");
+    assert!(journal.contains("\"code\":\"E-PANIC\""), "{journal}");
+    assert!(journal.contains("\"code\":\"E-TIMEOUT\""), "{journal}");
+    assert!(journal.contains("\"event\":\"finish\""), "{journal}");
+}
+
+/// Identical cells (same run_id) dispatch once and share the artifact.
+#[test]
+fn duplicate_seeds_dedup_through_ledger() {
+    let dir = temp_dir("dedup");
+    let mut spec = small_spec();
+    spec.benchmarks = vec![Benchmark::Radix];
+    spec.seeds = vec![7, 7];
+    let outcome = run_sweep(&spec, &options(&dir)).unwrap();
+    assert!(outcome.ok());
+    assert_eq!(outcome.cells.len(), 4);
+    let mut dispatched = 0;
+    for s in &outcome.states {
+        match s {
+            CellState::Done { attempts: 1, dedup_of: None, .. } => dispatched += 1,
+            CellState::Done { attempts: 0, dedup_of: Some(_), .. } => {}
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+    assert_eq!(dispatched, 2, "two unique run_ids, two executions");
+}
+
+/// A second sweep over the same spec and out_dir reuses every artifact
+/// (content-hash ledger) without recomputing, byte-identically.
+#[test]
+fn rerun_is_fully_cached() {
+    let dir = temp_dir("cache");
+    let opts = options(&dir);
+    let first = run_sweep(&small_spec(), &opts).unwrap();
+    assert!(first.ok());
+    let bytes: BTreeMap<PathBuf, Vec<u8>> = first
+        .states
+        .iter()
+        .map(|s| match s {
+            CellState::Done { artifact, .. } => {
+                (artifact.clone(), std::fs::read(artifact).unwrap())
+            }
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let second = run_sweep(&small_spec(), &opts).unwrap();
+    assert!(second.ok());
+    for s in &second.states {
+        match s {
+            CellState::Done { attempts, cached, dedup_of: None, artifact } => {
+                assert_eq!(*attempts, 0, "cached cells never execute");
+                assert!(*cached);
+                assert_eq!(std::fs::read(artifact).unwrap(), bytes[artifact]);
+            }
+            CellState::Done { dedup_of: Some(_), .. } => {}
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+}
+
+/// The journal's start line carries the whole spec: parsing it back
+/// re-expands to the same cells and run_ids.
+#[test]
+fn journal_round_trips_the_spec() {
+    let dir = temp_dir("roundtrip");
+    let opts = options(&dir);
+    let outcome = run_sweep(&small_spec(), &opts).unwrap();
+    let text = std::fs::read_to_string(&opts.journal).unwrap();
+    let parsed = parse_journal(&text).unwrap();
+    let cells = parsed.spec.expand();
+    assert_eq!(cells.len(), outcome.cells.len());
+    for (a, b) in cells.iter().zip(&outcome.cells) {
+        assert_eq!(a.manifest.run_id, b.manifest.run_id);
+        assert_eq!(a.name(), b.name());
+    }
+    assert_eq!(parsed.terminal.len(), 4, "all four cells journaled terminal");
+}
+
+/// A quarantined cell's crash dump round-trips through
+/// `cmpsim-cli replay`: the replay reproduces the original failure
+/// (same kind, same cycle) and exits zero. Fixed seed, deterministic.
+#[test]
+fn quarantined_crash_dump_replays() {
+    let dir = temp_dir("replay");
+    let mut spec = small_spec();
+    spec.protocols = vec![ProtocolKind::Directory];
+    spec.benchmarks = vec![Benchmark::Radix];
+    // An absurdly small event budget is a deterministic failure: the
+    // watchdog trips, a crash dump is written, the cell quarantines.
+    spec.base = spec.base.with_event_budget(500);
+    let outcome = run_sweep(&spec, &options(&dir)).unwrap();
+    assert!(!outcome.ok());
+    let failed = outcome.quarantined();
+    assert_eq!(failed.len(), 1);
+    let (_, err) = failed[0];
+    assert_eq!(err.code, "E-STALL");
+    assert!(!err.transient, "watchdog stalls quarantine immediately");
+    let artifact = err.artifact.as_ref().expect("stalls write a replay artifact");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cmpsim-cli"))
+        .arg("replay")
+        .arg(artifact)
+        .output()
+        .expect("replay runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "replay exited {:?}: {stdout}", out.status.code());
+    assert!(stdout.contains("reproduced"), "{stdout}");
+}
+
+/// Reference sweep shared by the kill-point property: journal text,
+/// terminal state set, and every artifact's bytes.
+struct Reference {
+    dir: PathBuf,
+    journal: String,
+    states: Vec<(usize, String)>,
+    artifacts: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+fn reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = temp_dir("killpoint");
+        let opts = options(&dir);
+        let outcome = run_sweep(&small_spec(), &opts).unwrap();
+        assert!(outcome.ok());
+        let artifacts = outcome
+            .states
+            .iter()
+            .map(|s| match s {
+                CellState::Done { artifact, .. } => {
+                    (artifact.clone(), std::fs::read(artifact).unwrap())
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        Reference {
+            dir: dir.clone(),
+            journal: std::fs::read_to_string(&opts.journal).unwrap(),
+            states: outcome.state_set(),
+            artifacts,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Crash-resume property: truncating the journal at ANY byte
+    /// offset past the start line (simulating `kill -9` mid-write,
+    /// torn trailing line included) and resuming converges to the
+    /// same terminal state set with byte-identical artifacts.
+    #[test]
+    fn resume_from_any_kill_point(cut in 0usize..10_000) {
+        let r = reference();
+        let start_len = r.journal.find('\n').unwrap() + 1;
+        let offset = start_len + cut % (r.journal.len() - start_len + 1);
+        let truncated = r.dir.join(format!("cut-{offset}.ndjson"));
+        std::fs::write(&truncated, &r.journal.as_bytes()[..offset]).unwrap();
+
+        let outcome = resume_sweep(&truncated, Some(2)).unwrap();
+        prop_assert!(outcome.ok());
+        prop_assert_eq!(outcome.state_set(), r.states.clone());
+        for (path, bytes) in &r.artifacts {
+            prop_assert_eq!(&std::fs::read(path).unwrap(), bytes, "artifact {} diverged", path.display());
+        }
+        let _ = std::fs::remove_file(&truncated);
+    }
+}

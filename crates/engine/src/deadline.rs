@@ -1,0 +1,97 @@
+//! Cooperative wall-clock deadlines for long-running simulations.
+//!
+//! The watchdog in the event loop catches *simulated*-time pathologies
+//! (deadlock, livelock) via event budgets and no-progress windows, but
+//! a run can also be unacceptably slow in *host* time — a hung cell in
+//! a thousand-cell sweep must not hold a worker forever. [`WallDeadline`]
+//! layers a host-clock limit on top: the event loop polls it and bails
+//! out with a typed timeout error once the budget is exceeded.
+//!
+//! The deadline is deliberately coarse — the host clock is read only
+//! once every [`POLL_PERIOD`] polls, so the hot path pays one branch
+//! and a bit-mask, not a syscall per event. Wall-clock state never
+//! enters deterministic artifacts: a run that *completes* under a
+//! deadline is bit-identical to one without it; the deadline only
+//! decides whether a run is allowed to finish.
+
+use std::time::Instant;
+
+/// Poll granularity: the host clock is consulted every this-many polls
+/// (power of two; the check compiles to a mask).
+pub const POLL_PERIOD: u64 = 4096;
+
+/// A wall-clock budget attached to one simulation run.
+#[derive(Debug, Clone)]
+pub struct WallDeadline {
+    start: Instant,
+    budget_ms: u64,
+    polls: u64,
+}
+
+impl WallDeadline {
+    /// Starts the clock with a budget of `budget_ms` milliseconds.
+    pub fn new(budget_ms: u64) -> Self {
+        Self { start: Instant::now(), budget_ms, polls: 0 }
+    }
+
+    /// The configured budget, in milliseconds.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// Milliseconds elapsed since the deadline was armed.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Cheap cooperative poll: returns true when the budget is
+    /// exhausted. Reads the host clock only every [`POLL_PERIOD`]-th
+    /// call; in between it is a counter increment and a mask.
+    pub fn poll(&mut self) -> bool {
+        self.polls = self.polls.wrapping_add(1);
+        if self.polls & (POLL_PERIOD - 1) != 0 {
+            return false;
+        }
+        self.expired_now()
+    }
+
+    /// Uncached check against the host clock.
+    pub fn expired_now(&self) -> bool {
+        self.elapsed_ms() >= self.budget_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_not_expired() {
+        let mut d = WallDeadline::new(60_000);
+        for _ in 0..(POLL_PERIOD * 3) {
+            assert!(!d.poll());
+        }
+    }
+
+    #[test]
+    fn zero_budget_expires_on_first_clock_read() {
+        let mut d = WallDeadline::new(0);
+        assert!(d.expired_now());
+        let mut fired = false;
+        for _ in 0..POLL_PERIOD {
+            if d.poll() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "poll must read the clock within one period");
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let d = WallDeadline::new(1_000);
+        let a = d.elapsed_ms();
+        let b = d.elapsed_ms();
+        assert!(b >= a);
+    }
+}

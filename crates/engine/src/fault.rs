@@ -222,9 +222,11 @@ impl FaultPlan {
     /// `None` when unset or empty. An unparsable value is an error so
     /// typos do not silently disable injection.
     pub fn from_env() -> Result<Option<Self>, String> {
-        match std::env::var("CMPSIM_FAULTS") {
-            Ok(v) if !v.trim().is_empty() => Self::parse(v.trim()).map(Some),
-            _ => Ok(None),
+        match crate::env::string(crate::env::FAULTS) {
+            Some(v) => Self::parse(v.trim())
+                .map(Some)
+                .map_err(|detail| format!("bad {} value {v:?}: {detail}", crate::env::FAULTS)),
+            None => Ok(None),
         }
     }
 

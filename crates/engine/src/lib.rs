@@ -40,13 +40,20 @@
 //!   containers, typed decode errors — a corrupt snapshot fails closed).
 //! * [`par`] — a scoped-thread parallel map built on `std::thread::scope`
 //!   used to run independent simulations (protocol × workload sweeps) on
-//!   all host cores.
+//!   all host cores; a panicking item is isolated per slot instead of
+//!   poisoning the whole map.
+//! * [`env`] — unified typed parsing of the `CMPSIM_*` environment
+//!   variables (malformed values error instead of vanishing).
+//! * [`deadline`] — coarse cooperative wall-clock deadlines layered on
+//!   the watchdog for sweep-cell timeouts.
 //!
 //! The kernel is intentionally single-threaded *within* one simulation:
 //! cycle-level coherence simulators are causality-bound, so parallelism is
 //! applied across the parameter sweep, not inside one run.
 
+pub mod deadline;
 pub mod debug_log;
+pub mod env;
 pub mod event;
 pub mod fault;
 pub mod fxmap;
@@ -60,6 +67,8 @@ pub mod snap;
 pub mod stats;
 pub mod trace;
 
+pub use deadline::WallDeadline;
+pub use env::EnvError;
 pub use event::{Cycle, EventQueue};
 pub use fault::{FaultDecision, FaultEngine, FaultKind, FaultPlan, FaultStats};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
